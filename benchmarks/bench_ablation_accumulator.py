@@ -1,0 +1,49 @@
+"""Ablation (section 5.2 text): reduction-accumulator placement.
+
+The paper reproduced Triton's GEMM+Reduction performance by adjusting
+only the Cypress mapping to place the reduction accumulator in shared
+memory. This bench regenerates that experiment: same logical
+description, two mappings.
+"""
+
+import pytest
+
+from repro import api
+from repro.kernels import build_gemm_reduction
+
+from conftest import print_series
+
+SIZES = (4096, 8192)
+
+
+def test_accumulator_placement_ablation(machine, benchmark):
+    series = {"register acc": [], "shared acc": []}
+    for size in SIZES:
+        for label, acc in (
+            ("register acc", "register"),
+            ("shared acc", "shared"),
+        ):
+            build = build_gemm_reduction(
+                machine, size, size, size, accumulator=acc
+            )
+            series[label].append(
+                api.simulate(api.compile_kernel(build), machine).tflops
+            )
+    print_series(
+        "Ablation: GEMM+Reduction accumulator placement (TFLOP/s)",
+        SIZES,
+        series,
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for reg, smem in zip(series["register acc"], series["shared acc"]):
+        assert smem < reg  # the remapping alone costs performance
+
+
+@pytest.mark.parametrize("accumulator", ["register", "shared"])
+def test_bench_accumulator(benchmark, machine, accumulator):
+    build = build_gemm_reduction(
+        machine, 4096, 4096, 4096, accumulator=accumulator
+    )
+    kernel = api.compile_kernel(build)
+    result = benchmark(lambda: api.simulate(kernel, machine))
+    assert result.tflops > 0

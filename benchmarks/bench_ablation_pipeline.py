@@ -1,0 +1,46 @@
+"""Ablation (sections 4.2.5 / 5.4): pipeline depth and warp
+specialization.
+
+The mapping specification exposes both as single-line changes; this
+bench sweeps them on the 4096 GEMM, regenerating the design-space
+exploration the paper describes in its programming-experience section.
+"""
+
+import pytest
+
+from repro import api
+from repro.kernels import build_gemm
+
+from conftest import print_series
+
+SIZE = 4096
+DEPTHS = (1, 2, 3, 4)
+
+
+def test_pipeline_depth_sweep(machine, benchmark):
+    series = {"warpspec": [], "single-role": []}
+    for depth in DEPTHS:
+        ws = build_gemm(machine, SIZE, SIZE, SIZE, pipeline=depth)
+        series["warpspec"].append(
+            api.simulate(api.compile_kernel(ws), machine).tflops
+        )
+        no = build_gemm(
+            machine, SIZE, SIZE, SIZE, pipeline=depth, warpspecialize=False
+        )
+        series["single-role"].append(
+            api.simulate(api.compile_kernel(no), machine).tflops
+        )
+    print_series(
+        "Ablation: pipeline depth (GEMM 4096, TFLOP/s)", DEPTHS, series
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    assert series["warpspec"][2] > series["warpspec"][0]
+    assert max(series["warpspec"]) >= max(series["single-role"]) * 0.98
+
+
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_bench_pipeline_depth(benchmark, machine, depth):
+    build = build_gemm(machine, SIZE, SIZE, SIZE, pipeline=depth)
+    kernel = api.compile_kernel(build)
+    result = benchmark(lambda: api.simulate(kernel, machine))
+    assert result.tflops > 0

@@ -1,0 +1,43 @@
+"""Figure 13a: FP16 GEMM throughput, M=N=K in {4096, 6144, 8192}.
+
+Paper result: Cypress achieves 0.88x-1.06x cuBLAS and 1.05x-1.11x
+Triton.
+"""
+
+import pytest
+
+from repro import api
+from repro.baselines import cublas_gemm, triton_gemm
+from repro.kernels import build_gemm
+
+from conftest import print_series
+
+SIZES = (4096, 6144, 8192)
+
+
+def _cypress_tflops(machine, size):
+    build = build_gemm(machine, size, size, size)
+    return api.simulate(api.compile_kernel(build), machine).tflops
+
+
+def test_fig13a_series(machine, benchmark):
+    series = {"Cypress": [], "Triton": [], "cuBLAS": []}
+    for size in SIZES:
+        series["Cypress"].append(_cypress_tflops(machine, size))
+        series["Triton"].append(triton_gemm(machine, size, size, size).tflops)
+        series["cuBLAS"].append(cublas_gemm(machine, size, size, size).tflops)
+    print_series("Figure 13a: GEMM (TFLOP/s)", SIZES, series)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for cy, cb, tr in zip(
+        series["Cypress"], series["cuBLAS"], series["Triton"]
+    ):
+        assert 0.85 <= cy / cb <= 1.10
+        assert 1.00 <= cy / tr <= 1.20
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_cypress_gemm(benchmark, machine, size):
+    build = build_gemm(machine, size, size, size)
+    kernel = api.compile_kernel(build)
+    result = benchmark(lambda: api.simulate(kernel, machine))
+    assert result.tflops > 0

@@ -1,0 +1,43 @@
+"""Figure 13b: Batched-GEMM, L=4, M=N=K in {4096, 6144, 8192}.
+
+Paper result: Cypress is competitive with cuBLAS and slightly
+outperforms it at the largest problem size.
+"""
+
+import pytest
+
+from repro import api
+from repro.baselines import cublas_batched_gemm, triton_batched_gemm
+from repro.kernels import build_batched_gemm
+
+from conftest import print_series
+
+SIZES = (4096, 6144, 8192)
+BATCH = 4
+
+
+def test_fig13b_series(machine, benchmark):
+    series = {"Cypress": [], "Triton": [], "cuBLAS": []}
+    for size in SIZES:
+        build = build_batched_gemm(machine, BATCH, size, size, size)
+        series["Cypress"].append(
+            api.simulate(api.compile_kernel(build), machine).tflops
+        )
+        series["Triton"].append(
+            triton_batched_gemm(machine, BATCH, size, size, size).tflops
+        )
+        series["cuBLAS"].append(
+            cublas_batched_gemm(machine, BATCH, size, size, size).tflops
+        )
+    print_series("Figure 13b: Batched-GEMM L=4 (TFLOP/s)", SIZES, series)
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for cy, cb in zip(series["Cypress"], series["cuBLAS"]):
+        assert 0.85 <= cy / cb <= 1.15
+
+
+@pytest.mark.parametrize("size", SIZES)
+def test_bench_cypress_batched(benchmark, machine, size):
+    build = build_batched_gemm(machine, BATCH, size, size, size)
+    kernel = api.compile_kernel(build)
+    result = benchmark(lambda: api.simulate(kernel, machine))
+    assert result.tflops > 0

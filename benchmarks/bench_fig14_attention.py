@@ -1,0 +1,72 @@
+"""Figure 14: FP16 Flash Attention forward, head dim 128.
+
+Paper result: Cypress FA2/FA3 are competitive with the hand-tuned
+implementations — 0.80x-0.98x the reference Flash Attention 3 and
+0.87x-1.06x ThunderKittens — and outperform Triton. Cypress trails the
+FA3 reference most at small sequence lengths because it lacks the
+persistent-kernel optimization.
+"""
+
+import pytest
+
+from repro import api
+from repro.baselines import (
+    cudnn_attention,
+    fa3_reference_attention,
+    thunderkittens_attention,
+    triton_attention,
+)
+from repro.kernels import build_flash_attention2, build_flash_attention3
+
+from conftest import print_series
+
+SEQLENS = (2048, 4096, 8192, 16384)
+HEADS = 16
+
+
+def test_fig14_series(machine, benchmark):
+    series = {
+        "Cypress (FA2)": [],
+        "Cypress (FA3)": [],
+        "Triton (FA2)": [],
+        "ThunderKittens": [],
+        "FlashAttention3": [],
+        "cuDNN": [],
+    }
+    for seq in SEQLENS:
+        fa2 = build_flash_attention2(machine, HEADS, seq)
+        fa3 = build_flash_attention3(machine, HEADS, seq)
+        series["Cypress (FA2)"].append(
+            api.simulate(api.compile_kernel(fa2), machine).tflops
+        )
+        series["Cypress (FA3)"].append(
+            api.simulate(api.compile_kernel(fa3), machine).tflops
+        )
+        series["Triton (FA2)"].append(
+            triton_attention(machine, HEADS, seq).tflops
+        )
+        series["ThunderKittens"].append(
+            thunderkittens_attention(machine, HEADS, seq).tflops
+        )
+        series["FlashAttention3"].append(
+            fa3_reference_attention(machine, HEADS, seq).tflops
+        )
+        series["cuDNN"].append(cudnn_attention(machine, HEADS, seq).tflops)
+    print_series(
+        "Figure 14: Flash Attention fwd, d=128 (TFLOP/s)", SEQLENS, series
+    )
+    benchmark.pedantic(lambda: None, rounds=1, iterations=1)
+    for i, seq in enumerate(SEQLENS):
+        cy3 = series["Cypress (FA3)"][i]
+        cy2 = series["Cypress (FA2)"][i]
+        assert 0.7 <= cy3 / series["FlashAttention3"][i] <= 1.0
+        assert 0.85 <= cy2 / series["ThunderKittens"][i] <= 1.15
+        assert cy2 > series["Triton (FA2)"][i]
+
+
+@pytest.mark.parametrize("seq", SEQLENS)
+def test_bench_cypress_fa3(benchmark, machine, seq):
+    build = build_flash_attention3(machine, HEADS, seq)
+    kernel = api.compile_kernel(build)
+    result = benchmark(lambda: api.simulate(kernel, machine))
+    assert result.tflops > 0

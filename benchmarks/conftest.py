@@ -1,0 +1,27 @@
+"""Shared helpers for the benchmark harness.
+
+Each ``bench_fig*`` module regenerates one figure of the paper's
+evaluation: it sweeps the paper's workload sizes, runs Cypress and every
+comparator through the simulator, prints the figure's series (TFLOP/s
+per system per size), and registers the Cypress compile+simulate path
+with pytest-benchmark so the harness also measures our own toolchain.
+"""
+
+import pytest
+
+from repro.machine import hopper_machine
+
+
+@pytest.fixture(scope="session")
+def machine():
+    return hopper_machine()
+
+
+def print_series(title, sizes, series):
+    """Print one figure's data in paper form (rows: system, cols: size)."""
+    header = " ".join(f"{s:>10}" for s in sizes)
+    print(f"\n=== {title} ===")
+    print(f"{'system':<18}{header}")
+    for name, values in series.items():
+        row = " ".join(f"{v:>10.1f}" for v in values)
+        print(f"{name:<18}{row}")

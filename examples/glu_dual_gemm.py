@@ -1,0 +1,62 @@
+"""Gated Linear Unit building block: the fused Dual-GEMM.
+
+GLU layers compute ``activation(A x B1) * (A x B2)``; the performance-
+critical piece is evaluating both products of the shared input in one
+kernel without staging temporaries in global memory (paper section 5.2).
+This example compiles the Cypress Dual-GEMM, verifies it, and shows the
+overlap advantage over the modeled Triton schedule.
+
+    python examples/glu_dual_gemm.py
+"""
+
+import numpy as np
+
+from repro import api
+from repro.baselines import triton_dual_gemm
+from repro.kernels import build_dual_gemm
+from repro.machine import hopper_machine
+
+
+def main() -> None:
+    machine = hopper_machine()
+
+    # -- numeric check on a small instance ------------------------------
+    build = build_dual_gemm(
+        machine, 128, 256, 128, tile_m=128, tile_n=256, tile_k=64
+    )
+    kernel = api.compile_kernel(build)
+    rng = np.random.default_rng(7)
+    A = (rng.standard_normal((128, 128)) * 0.1).astype(np.float16)
+    B1 = (rng.standard_normal((128, 256)) * 0.1).astype(np.float16)
+    B2 = (rng.standard_normal((128, 256)) * 0.1).astype(np.float16)
+    out = api.run_functional(
+        kernel,
+        {"C": np.zeros((128, 256), np.float16), "A": A, "B1": B1, "B2": B2},
+    )
+    ref = A.astype(np.float32) @ B1.astype(np.float32)
+    ref += A.astype(np.float32) @ B2.astype(np.float32)
+    err = np.abs(out["C"].astype(np.float32) - ref).max()
+    print(f"dual-GEMM max |error| vs numpy: {err:.2e}")
+    assert err < 0.05
+
+    # The compiler deduplicated the A-tile load: count TMA loads in the
+    # main loop.
+    loop = [s for s in kernel.schedule.segments if s.extent > 1][0]
+    loads = [i for i in loop.instrs if i.kind == "tma_load"]
+    print(f"TMA loads per K step: {len(loads)} (A shared by both GEMMs)")
+
+    # -- paper-scale comparison -----------------------------------------
+    print("\nGLU Dual-GEMM throughput (TFLOP/s):")
+    print(f"{'size':>8} {'Cypress':>10} {'Triton':>10} {'speedup':>9}")
+    for size in (4096, 6144, 8192):
+        big = build_dual_gemm(machine, size, size, size)
+        cypress = api.simulate(api.compile_kernel(big), machine).tflops
+        triton = triton_dual_gemm(machine, size, size, size).tflops
+        print(
+            f"{size:>8} {cypress:>10.1f} {triton:>10.1f} "
+            f"{cypress / triton:>8.2f}x"
+        )
+
+
+if __name__ == "__main__":
+    main()

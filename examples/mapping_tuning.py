@@ -1,0 +1,79 @@
+"""Exploring the mapping space (paper section 5.4).
+
+The separation of logical description and mapping specification means
+tuning is data, not code: this example sweeps tile shapes, warpgroup
+counts, pipeline depths, and warp specialization for one GEMM size,
+without touching the logical program — the exploration the paper calls
+out as impossible in Triton and invasive in CUTLASS.
+
+    python examples/mapping_tuning.py
+"""
+
+import itertools
+
+from repro import api
+from repro.errors import CypressError
+from repro.kernels import build_gemm
+from repro.machine import hopper_machine
+
+SIZE = 4096
+
+
+def main() -> None:
+    machine = hopper_machine()
+    rows = []
+    sweep = itertools.product(
+        ((256, 256), (128, 256), (128, 128)),  # (tile_m, tile_n)
+        (1, 2),                                 # warpgroups
+        (1, 2, 3, 4),                           # pipeline depth
+        (True, False),                          # warp specialization
+    )
+    for (tile_m, tile_n), wgs, pipeline, warpspec in sweep:
+        if tile_m // wgs % 64:
+            continue  # warp-level mma needs 64-row warpgroup tiles
+        try:
+            build = build_gemm(
+                machine, SIZE, SIZE, SIZE,
+                tile_m=tile_m, tile_n=tile_n, tile_k=64,
+                wgs=wgs, pipeline=pipeline, warpspecialize=warpspec,
+            )
+            result = api.simulate(api.compile_kernel(build), machine)
+        except CypressError as error:
+            # e.g. shared-memory over-subscription: the compiler reports
+            # it instead of silently mis-compiling.
+            rows.append(
+                ((tile_m, tile_n), wgs, pipeline, warpspec, None, error)
+            )
+            continue
+        rows.append(
+            ((tile_m, tile_n), wgs, pipeline, warpspec, result.tflops, None)
+        )
+
+    rows.sort(key=lambda r: -(r[4] or 0))
+    print(
+        f"{'tile':>10} {'wgs':>4} {'pipe':>5} {'warpspec':>9} "
+        f"{'TFLOP/s':>9}"
+    )
+    for (tile, wgs, pipeline, warpspec, tflops, error) in rows:
+        label = f"{tile[0]}x{tile[1]}"
+        if tflops is None:
+            reason = str(error).split(";")[0][:40]
+            print(
+                f"{label:>10} {wgs:>4} {pipeline:>5} {str(warpspec):>9} "
+                f"     — ({reason}...)"
+            )
+        else:
+            print(
+                f"{label:>10} {wgs:>4} {pipeline:>5} {str(warpspec):>9} "
+                f"{tflops:>9.1f}"
+            )
+    best = rows[0]
+    print(
+        f"\nbest mapping: tile {best[0][0]}x{best[0][1]}, "
+        f"{best[1]} warpgroups, pipeline {best[2]}, "
+        f"warpspec={best[3]} -> {best[4]:.1f} TFLOP/s"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment has no network access and no ``wheel`` package,
+so PEP 517 editable installs fail; ``pip install -e . --no-use-pep517``
+(or a plain ``pip install -e .`` on modern environments) uses this shim.
+Configuration lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""Cypress reproduction: task-based tensor computations on modern GPUs.
+
+Reproduction of Yadav, Garland, Aiken, Bauer — *Task-Based Tensor
+Computations on Modern GPUs*, PLDI 2025. See README.md for a tour,
+DESIGN.md for the system inventory, and EXPERIMENTS.md for the
+paper-vs-measured results.
+
+Entry points:
+
+- :mod:`repro.api` — compile / run / simulate.
+- :mod:`repro.kernels` — the paper's kernel zoo (GEMM family, attention).
+- :mod:`repro.machine` — H100 / A100 machine models.
+- :mod:`repro.baselines` — comparator system models.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["api", "kernels", "machine", "baselines", "__version__"]

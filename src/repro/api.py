@@ -1,0 +1,74 @@
+"""High-level public API.
+
+Typical use::
+
+    from repro import api
+    from repro.machine import hopper_machine
+    from repro.kernels import build_gemm
+
+    machine = hopper_machine()
+    build = build_gemm(machine, 4096, 4096, 4096)
+    kernel = api.compile_kernel(build)
+    out = api.run_functional(kernel, {"C": C, "A": A, "B": B})
+    result = api.simulate(kernel, machine)
+    print(result.summary())
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional
+
+import numpy as np
+
+from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.gpusim.functional import interpret_function
+from repro.gpusim.gpu import GpuResult, simulate_kernel
+from repro.kernels.common import kernel_registry
+from repro.kernels.gemm import KernelBuild
+from repro.machine.machine import MachineModel
+
+
+def compile_kernel(
+    build: KernelBuild, use_tma: Optional[bool] = None
+) -> CompiledKernel:
+    """Compile a kernel build produced by ``repro.kernels.build_*``."""
+    return compile_program(
+        build.spec,
+        build.name,
+        build.arg_shapes,
+        build.arg_dtypes,
+        total_flops=build.total_flops,
+        unique_dram_bytes=build.unique_dram_bytes,
+        use_tma=use_tma,
+    )
+
+
+def run_functional(
+    kernel: CompiledKernel,
+    inputs: Mapping[str, np.ndarray],
+    stage: str = "final",
+) -> Dict[str, np.ndarray]:
+    """Execute a compiled kernel on numpy data.
+
+    ``stage`` selects which IR to interpret: ``"final"`` (after all
+    passes) or ``"dependence"`` (straight out of dependence analysis);
+    agreement between the two is the compiler's semantics-preservation
+    check.
+    """
+    if stage == "final":
+        fn = kernel.final_ir
+    elif stage == "dependence":
+        fn = kernel.dependence_ir
+    else:
+        raise ValueError("stage must be 'final' or 'dependence'")
+    return interpret_function(fn, kernel_registry, inputs)
+
+
+def simulate(kernel: CompiledKernel, machine: MachineModel) -> GpuResult:
+    """Time a compiled kernel on the simulated GPU."""
+    return simulate_kernel(kernel.schedule, machine)
+
+
+def tflops(kernel: CompiledKernel, machine: MachineModel) -> float:
+    """Convenience: simulated throughput in TFLOP/s."""
+    return simulate(kernel, machine).tflops

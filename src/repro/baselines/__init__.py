@@ -1,0 +1,39 @@
+"""Models of the systems the paper compares against (section 5).
+
+Each baseline is a *schedule generator*: it emits the same
+:class:`~repro.gpusim.kernel.KernelSchedule` structure the Cypress
+compiler produces, encoding that system's documented kernel structure —
+cuBLAS/CUTLASS warp-specialized TMA pipelines with per-size tile
+heuristics, Triton's cp.async multistage pipelines with the specific
+behaviours the paper measured (no TMA by default, no overlap of the
+second GEMM in Dual-GEMM, reduction serialized behind a Tensor Core
+wait with a shared-memory accumulator), ThunderKittens/cuDNN/FA3
+attention pipelines, and the FA3 reference's persistent-kernel grid.
+All systems are then timed by one simulator, so the comparisons measure
+schedule structure, not modeling differences.
+"""
+
+from repro.baselines.cublas import cublas_gemm, cublas_batched_gemm
+from repro.baselines.triton_model import (
+    triton_gemm,
+    triton_batched_gemm,
+    triton_dual_gemm,
+    triton_gemm_reduction,
+    triton_attention,
+)
+from repro.baselines.thunderkittens import thunderkittens_attention
+from repro.baselines.cudnn import cudnn_attention
+from repro.baselines.fa3_reference import fa3_reference_attention
+
+__all__ = [
+    "cublas_gemm",
+    "cublas_batched_gemm",
+    "triton_gemm",
+    "triton_batched_gemm",
+    "triton_dual_gemm",
+    "triton_gemm_reduction",
+    "triton_attention",
+    "thunderkittens_attention",
+    "cudnn_attention",
+    "fa3_reference_attention",
+]

@@ -1,0 +1,32 @@
+"""FlashAttention-3 reference implementation model.
+
+The public FA3 kernels (Shah et al. 2024): warp-specialized TMA
+pipelines, softmax of iteration k overlapped with the score GEMM of
+iteration k+1 via the extra score copy, probabilities kept in registers,
+and a persistent-kernel grid — the optimization the paper names as the
+source of its advantage over Cypress at small sequence lengths.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import attention_schedule
+from repro.gpusim.gpu import GpuResult, simulate_kernel
+from repro.machine.machine import MachineModel
+
+
+def fa3_reference_attention(
+    machine: MachineModel, heads: int, seq: int, head_dim: int = 128
+) -> GpuResult:
+    """Simulated reference FlashAttention-3 forward throughput."""
+    schedule = attention_schedule(
+        f"fa3_ref_h{heads}_s{seq}",
+        machine, heads, seq, head_dim,
+        q_tile=128, kv_tile=128,
+        n_warpgroups=2, pipeline=2,
+        use_tma=True, warpspecialized=True,
+        softmax_overlapped=True,
+        softmax_sfu_per_elem=2.0,
+        probs_through_smem=False,
+        persistent=True,
+    )
+    return simulate_kernel(schedule, machine)

@@ -1,0 +1,29 @@
+"""ThunderKittens model: hand-written warp-specialized FA2 kernels.
+
+ThunderKittens kernels keep the softmax in registers (no shared-memory
+probability staging) and use TMA with warp specialization, but retain
+the FA2 structure: the softmax waits on the score GEMM each iteration.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import attention_schedule
+from repro.gpusim.gpu import GpuResult, simulate_kernel
+from repro.machine.machine import MachineModel
+
+
+def thunderkittens_attention(
+    machine: MachineModel, heads: int, seq: int, head_dim: int = 128
+) -> GpuResult:
+    """Simulated ThunderKittens FA2 forward throughput."""
+    schedule = attention_schedule(
+        f"tk_fa2_h{heads}_s{seq}",
+        machine, heads, seq, head_dim,
+        q_tile=128, kv_tile=128,
+        n_warpgroups=3, pipeline=2,
+        use_tma=True, warpspecialized=True,
+        softmax_overlapped=False,
+        softmax_sfu_per_elem=2.0,
+        probs_through_smem=False,  # P stays in registers
+    )
+    return simulate_kernel(schedule, machine)

@@ -1,0 +1,20 @@
+"""The Cypress compiler (paper section 4, Figure 6).
+
+Passes, in pipeline order:
+
+1. :mod:`repro.compiler.dependence` — task tree to event IR.
+2. :mod:`repro.compiler.vectorize` — flatten implicit parallel loops.
+3. :mod:`repro.compiler.copy_elim` — remove copy-in/copy-out noise.
+4. :mod:`repro.compiler.allocation` — shared-memory interference
+   allocation with WAR synchronization edges.
+5. :mod:`repro.compiler.warpspec` — warp specialization and software
+   pipelining.
+6. :mod:`repro.compiler.codegen_cuda` / :mod:`repro.compiler.codegen_sim`
+   — CUDA-like C++ text, and the executable schedule for the simulator.
+
+:func:`repro.compiler.pipeline.compile_program` runs them in order.
+"""
+
+from repro.compiler.pipeline import CompiledKernel, compile_program
+
+__all__ = ["compile_program", "CompiledKernel"]

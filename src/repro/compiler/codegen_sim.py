@@ -1,0 +1,290 @@
+"""Simulator backend: lower final IR to an executable KernelSchedule.
+
+The analogue of the paper's CUDA C++ generation for our environment: the
+event graph is lowered onto the synchronization the simulator enforces
+(instruction dependencies, software-pipelining WAR distances), and each
+remaining operation is classified onto the hardware unit that would
+execute it — TMA for global<->shared copies, Tensor Core for wgmma
+calls, SIMT/SFU pipelines for arithmetic, shared-memory bandwidth for
+register staging. Copies into or out of never-materialized (NONE)
+buffers cost nothing: their physical home is the register fragments.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.frontend.task import TaskRegistry
+from repro.gpusim.kernel import Instr, KernelSchedule, Segment
+from repro.ir.module import IRFunction
+from repro.ir.ops import AllocOp, Block, CallOp, CopyOp, ForOp, Operation, PForOp
+from repro.machine.memory import MemoryKind
+from repro.machine.processor import ProcessorKind
+from repro.sym import variables
+
+_PROC_LEVELS = ("warpgroup", "warp", "thread")
+
+
+def lower_to_schedule(
+    fn: IRFunction,
+    registry: TaskRegistry,
+    total_flops: float,
+    unique_dram_bytes: float,
+    use_tma: Optional[bool] = None,
+) -> KernelSchedule:
+    """Build the per-CTA schedule for the simulator."""
+    if use_tma is None:
+        use_tma = "tma_issue_cycles" in fn.machine.specs
+    grid, body = _grid_and_body(fn)
+    extents = dict(
+        {"warp": 4, "thread": 32, "warpgroup": 1},
+        **fn.metadata.get("proc_extents", {}),
+    )
+    warpspec_report = fn.metadata.get("warpspec")
+    warpspecialized = bool(
+        warpspec_report is not None and warpspec_report.enabled
+    )
+    allocation = fn.metadata.get("allocation")
+    smem_bytes = allocation.total_bytes if allocation else 0
+    regs = allocation.registers_per_thread if allocation else 64
+
+    producer_of = _event_producers(fn)
+    lowering = _Lowering(fn, registry, extents, use_tma, producer_of)
+    segments = lowering.lower_body(body)
+
+    return KernelSchedule(
+        name=fn.name,
+        segments=segments,
+        grid=grid,
+        n_warpgroups=extents.get("warpgroup", 1),
+        warpspecialized=warpspecialized,
+        smem_bytes_per_cta=smem_bytes,
+        regs_per_thread=regs,
+        total_flops=total_flops,
+        unique_dram_bytes=unique_dram_bytes,
+        metadata={"machine": fn.machine.name, "use_tma": use_tma},
+    )
+
+
+def _grid_and_body(fn: IRFunction) -> Tuple[int, Block]:
+    grid = 1
+    block = fn.body
+    while True:
+        grid_loops = [
+            op
+            for op in block.ops
+            if isinstance(op, PForOp) and op.proc is ProcessorKind.BLOCK
+        ]
+        if not grid_loops:
+            return grid, block
+        if len(grid_loops) > 1:
+            raise CompileError("multiple grid loops at one level")
+        loop = grid_loops[0]
+        grid *= loop.extent
+        block = loop.body
+
+
+def _event_producers(fn: IRFunction) -> Dict[int, Operation]:
+    out: Dict[int, Operation] = {}
+    for op in fn.walk():
+        if op.result is not None:
+            out[id(op.result)] = op
+    return out
+
+
+class _Lowering:
+    def __init__(
+        self,
+        fn: IRFunction,
+        registry: TaskRegistry,
+        extents: Dict[str, int],
+        use_tma: bool,
+        producer_of: Dict[int, Operation],
+    ):
+        self.fn = fn
+        self.registry = registry
+        self.extents = extents
+        self.use_tma = use_tma
+        self.producer_of = producer_of
+        self.materialized: Dict[int, Instr] = {}
+
+    # ------------------------------------------------------------------
+    def lower_body(self, body: Block) -> List[Segment]:
+        segments: List[Segment] = []
+        straight: List[Instr] = []
+        for op in body.ops:
+            if isinstance(op, AllocOp):
+                continue
+            if isinstance(op, ForOp):
+                if straight:
+                    segments.append(Segment(straight))
+                    straight = []
+                segments.append(self._lower_loop(op))
+                continue
+            if isinstance(op, PForOp):
+                raise CompileError(
+                    f"unlowered parallel loop over {op.proc.name} in the "
+                    "block body; vectorization should have flattened it"
+                )
+            instr = self._lower_op(op)
+            if instr is not None:
+                straight.append(instr)
+        if straight:
+            segments.append(Segment(straight))
+        return segments
+
+    def _lower_loop(self, loop: ForOp) -> Segment:
+        instrs: List[Instr] = []
+        for op in loop.body.ops:
+            if isinstance(op, AllocOp):
+                continue
+            if isinstance(op, (ForOp, PForOp)):
+                raise CompileError(
+                    "nested loops inside a block-level main loop are not "
+                    "supported by the schedule backend; restructure the "
+                    "logical description to a single main loop"
+                )
+            instr = self._lower_op(op)
+            if instr is not None:
+                instrs.append(instr)
+        # Loop-entry dependencies apply to every instruction; they
+        # resolve once (their producers live in earlier segments).
+        entry_deps = self._dep_uids(loop.preconds)
+        for instr in instrs:
+            for dep in entry_deps:
+                if dep not in instr.deps:
+                    instr.deps.append(dep)
+        return Segment(
+            instrs,
+            extent=loop.extent,
+            pipeline=getattr(loop, "pipeline", 1),
+        )
+
+    # ------------------------------------------------------------------
+    def _lower_op(self, op: Operation) -> Optional[Instr]:
+        if isinstance(op, CopyOp):
+            instr = self._lower_copy(op)
+        elif isinstance(op, CallOp):
+            instr = self._lower_call(op)
+        else:
+            raise CompileError(f"cannot lower op {op!r} to the simulator")
+        instr.deps = self._dep_uids(op.preconds)
+        instr.war_distance = getattr(op, "war_distance", 0)
+        instr.war_consumers = list(getattr(op, "war_consumers", ()))
+        self.materialized[op.uid] = instr
+        return instr
+
+    def _dep_uids(self, preconds) -> List[int]:
+        deps: List[int] = []
+        for use in preconds:
+            producer = self.producer_of.get(id(use.event))
+            if producer is None:
+                continue
+            if isinstance(producer, (ForOp, PForOp)):
+                # A dependence on a loop's completion becomes a
+                # dependence on the loop's yielded operation.
+                yielded = producer.body.yield_use
+                if yielded is None:
+                    continue
+                producer = self.producer_of.get(id(yielded.event))
+                if producer is None:
+                    continue
+            if producer.uid not in deps:
+                deps.append(producer.uid)
+        return deps
+
+    # ------------------------------------------------------------------
+    def _replicas(self, refs) -> int:
+        levels = set()
+        for ref in refs:
+            levels |= {
+                name
+                for name in ref.free_variables()
+                if name in _PROC_LEVELS
+            }
+        out = 1
+        for level in levels:
+            out *= self.extents.get(level, 1)
+        return out
+
+    def _memory_of(self, ref) -> MemoryKind:
+        buffer = self.fn.buffers.get(ref.root.uid)
+        if buffer is None:
+            raise CompileError(f"reference {ref!r} has no buffer")
+        return buffer.memory
+
+    def _lower_copy(self, op: CopyOp) -> Instr:
+        src_mem = self._memory_of(op.src)
+        dst_mem = self._memory_of(op.dst)
+        replicas = self._replicas([op.src, op.dst])
+        nbytes = op.src.size_bytes * replicas
+        role = getattr(op, "role", "compute")
+        none = MemoryKind.NONE
+        if src_mem is none or dst_mem is none:
+            # NONE buffers live in register fragments: moving them to or
+            # from shared memory is real staging traffic; register-only
+            # movement is free.
+            other = dst_mem if src_mem is none else src_mem
+            if other is MemoryKind.SHARED:
+                kind = "smem_copy"
+            elif other is MemoryKind.GLOBAL:
+                kind = "st_global" if src_mem is none else "ld_global"
+            else:
+                kind = "nop"
+                nbytes = 0
+        elif src_mem is MemoryKind.GLOBAL and dst_mem is MemoryKind.SHARED:
+            kind = "tma_load" if self.use_tma else "cp_async"
+        elif src_mem is MemoryKind.SHARED and dst_mem is MemoryKind.GLOBAL:
+            kind = "tma_store" if self.use_tma else "st_global"
+        elif src_mem is MemoryKind.GLOBAL and dst_mem is MemoryKind.REGISTER:
+            kind = "ld_global"
+        elif src_mem is MemoryKind.REGISTER and dst_mem is MemoryKind.GLOBAL:
+            kind = "st_global"
+        elif MemoryKind.SHARED in (src_mem, dst_mem):
+            kind = "smem_copy"
+        else:  # register-to-register
+            kind = "nop"
+            nbytes = 0
+        return Instr(
+            uid=op.uid,
+            kind=kind,
+            role=role,
+            bytes_moved=nbytes,
+            label=f"copy {op.src.root.name}->{op.dst.root.name}",
+        )
+
+    def _lower_call(self, op: CallOp) -> Instr:
+        external = self.registry.external(op.function)
+        replicas = self._replicas(list(op.tensor_uses()))
+        shapes = [
+            a.shape for a in op.args if hasattr(a, "shape")
+        ]
+        if external.flops_fn is not None:
+            flops = external.flops_fn(shapes) * replicas
+        else:
+            written = sum(
+                _elements(w.shape) for w in op.writes
+            )
+            flops = written * replicas
+        kind = external.cost_kind
+        sfu_ops = flops if kind == "sfu" else 0.0
+        nbytes = 0
+        if kind == "smem_copy":
+            nbytes = int(flops) * 2  # treated as bytes staged
+        return Instr(
+            uid=op.uid,
+            kind=kind,
+            role=getattr(op, "role", "compute"),
+            flops=flops if kind != "sfu" else 0.0,
+            sfu_ops=sfu_ops,
+            bytes_moved=nbytes,
+            label=op.function,
+        )
+
+
+def _elements(shape) -> int:
+    out = 1
+    for extent in shape:
+        out *= extent
+    return out

@@ -1,0 +1,584 @@
+"""Copy elimination (paper section 4.2.3, Figure 10).
+
+Runs after vectorization, exactly as in the paper — flattening implicit
+parallel loops first is what brings copy-in/copy-out pairs into the same
+block so the spill patterns can see them.
+
+The copy-in/copy-out discipline of the dependence analysis introduces a
+fresh allocation and copies around every task launch; this pass rewrites
+them away:
+
+* **self copy elimination** (Fig. 10d) — ``copy(t, t)`` disappears.
+* **round-trip (spill) elimination** (Fig. 10a) — a whole-temporary
+  copy-in ``copy(R, T)`` paired with a copy-out ``copy(T, R)`` aliases
+  ``T`` onto ``R``; both copies and their synchronization collapse,
+  leaving only point-wise dependencies between the surrounding blocks.
+* **copy-in forwarding** — a copy into a whole temporary in the same
+  memory (or the virtual NONE memory) that is never written again is a
+  renaming; later references recompose onto the source.
+* **copy-out forwarding** — symmetric: a whole temporary drained by a
+  single copy-out retargets its writers onto the destination.
+* **duplicate elimination** (Fig. 10c) — a repeated copy with no
+  intervening write is dropped, keeping the first copy's event.
+* **spill hoisting** (Fig. 10b) — a loop-invariant copy-in/copy-out pair
+  around a loop's working buffer moves to the loop preamble/postamble.
+
+Spill patterns are ordered ahead of dependency-preserving patterns so
+that event-array collapses are elided where the paper says they may be.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.errors import CompileError
+from repro.ir.events import BROADCAST, EventUse
+from repro.ir.module import Buffer, IRFunction
+from repro.ir.ops import Block, CallOp, CopyOp, ForOp, Operation, PForOp
+from repro.machine.memory import MemoryKind
+from repro.sym import ProcIndex
+from repro.tensors.mma_partition import MmaPartition
+from repro.tensors.partition import BlocksPartition, Partition
+from repro.tensors.tensor import TensorRef
+
+
+def eliminate_copies(fn: IRFunction, max_iterations: int = 500) -> IRFunction:
+    """Apply the rewrite patterns to a fixed point."""
+    for _ in range(max_iterations):
+        if _apply_once(fn):
+            continue
+        return fn
+    raise CompileError("copy elimination did not reach a fixed point")
+
+
+def _apply_once(fn: IRFunction) -> bool:
+    for pattern in (
+        _self_copy,
+        _roundtrip_alias,
+        _forward_copy_in,
+        _forward_copy_out,
+        _duplicate_copy,
+        _redundant_load,
+        _spill_hoist,
+        _invariant_copy_hoist,
+    ):
+        if _rewrite_blocks(fn, fn.body, pattern):
+            return True
+    return False
+
+
+def _rewrite_blocks(fn: IRFunction, block: Block, pattern) -> bool:
+    if pattern(fn, block):
+        return True
+    for op in block.ops:
+        for nested in op.nested_blocks():
+            if _rewrite_blocks(fn, nested, pattern):
+                return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Event forwarding
+# ----------------------------------------------------------------------
+def _adapt_use(pre: EventUse, outer: EventUse) -> EventUse:
+    """Adapt a precondition use to stand in for an outer use.
+
+    When the outer use broadcasts over some processor dimensions, the
+    substituted precondition must broadcast over the same processors:
+    point-wise processor indices introduced by vectorization are widened
+    to BROADCAST in those dimensions.
+    """
+    broadcast_procs = {
+        dim.proc
+        for dim, index in zip(outer.event.type, outer.indices)
+        if index is BROADCAST
+    }
+    if not broadcast_procs:
+        return pre
+    new_indices = []
+    for index, dim in zip(pre.indices, pre.event.type):
+        if (
+            index is not BROADCAST
+            and isinstance(index, ProcIndex)
+            and dim.proc in broadcast_procs
+        ):
+            new_indices.append(BROADCAST)
+        else:
+            new_indices.append(index)
+    return EventUse(pre.event, tuple(new_indices))
+
+
+def _forward_event(fn: IRFunction, removed: Operation) -> None:
+    """Redirect uses of a removed op's event onto its preconditions."""
+    event = removed.result
+    if event is None:
+        return
+    preconds = list(removed.preconds)
+
+    def rewrite(uses: List[EventUse]) -> List[EventUse]:
+        out: List[EventUse] = []
+        for use in uses:
+            if use.event is not event:
+                if use not in out:
+                    out.append(use)
+                continue
+            for pre in preconds:
+                adapted = _adapt_use(pre, use)
+                if adapted not in out:
+                    out.append(adapted)
+        return out
+
+    for op in fn.walk():
+        op.preconds = rewrite(op.preconds)
+    for nested in _all_blocks(fn.body):
+        if nested.yield_use is not None and nested.yield_use.event is event:
+            if preconds:
+                nested.yield_use = _adapt_use(
+                    preconds[-1], nested.yield_use
+                )
+            else:
+                nested.yield_use = _previous_event_use(nested, removed)
+
+
+def _previous_event_use(block: Block, removed: Operation) -> Optional[EventUse]:
+    previous = None
+    for op in block.ops:
+        if op is removed:
+            break
+        if op.result is not None:
+            previous = op
+    if previous is None or previous.result is None:
+        return None
+    if previous.result.is_unit:
+        return previous.result.use()
+    return previous.result.use_all()
+
+
+def _all_blocks(block: Block):
+    yield block
+    for op in block.ops:
+        for nested in op.nested_blocks():
+            yield from _all_blocks(nested)
+
+
+def _remove(fn: IRFunction, block: Block, op: Operation) -> None:
+    _forward_event(fn, op)
+    block.ops.remove(op)
+    for nested in _all_blocks(fn.body):
+        if nested.yield_use is not None and nested.yield_use.event is (
+            op.result
+        ):
+            nested.yield_use = _previous_event_use(nested, op)
+
+
+# ----------------------------------------------------------------------
+# Reference rebasing
+# ----------------------------------------------------------------------
+def _rebase_partition(partition: Partition, source: TensorRef) -> Partition:
+    if isinstance(partition, BlocksPartition):
+        return BlocksPartition(source, partition.block_shape)
+    if isinstance(partition, MmaPartition):
+        return MmaPartition(
+            source, partition.atom, partition.proc, partition.operand
+        )
+    from repro.tensors.partition import SqueezePartition
+
+    if isinstance(partition, SqueezePartition):
+        return SqueezePartition(source)
+    raise CompileError(f"cannot rebase partition kind {partition.kind!r}")
+
+
+def _compose_ref(base: TensorRef, sub: TensorRef) -> TensorRef:
+    """Re-root ``sub`` (a reference into a temporary) onto ``base``."""
+    result = base
+    for partition, index in sub.path:
+        rebased = _rebase_partition(partition, result)
+        result = TensorRef(result.root, result.path + ((rebased, index),))
+    return result
+
+
+def _replace_buffer_refs(fn: IRFunction, buffer: Buffer, base: TensorRef) -> None:
+    uid = buffer.tensor.uid
+
+    def rewrite(ref: TensorRef) -> TensorRef:
+        if ref.root.uid != uid:
+            return ref
+        return _compose_ref(base, ref)
+
+    for op in fn.walk():
+        if isinstance(op, CopyOp):
+            op.src = rewrite(op.src)
+            op.dst = rewrite(op.dst)
+        elif isinstance(op, CallOp):
+            op.args = tuple(
+                rewrite(a) if isinstance(a, TensorRef) else a
+                for a in op.args
+            )
+            op.reads = tuple(rewrite(r) for r in op.reads)
+            op.writes = tuple(rewrite(w) for w in op.writes)
+
+
+# ----------------------------------------------------------------------
+# Patterns
+# ----------------------------------------------------------------------
+def _self_copy(fn: IRFunction, block: Block) -> bool:
+    for op in block.ops:
+        if not isinstance(op, CopyOp):
+            continue
+        if op.src.root.uid == op.dst.root.uid and _same_path(op.src, op.dst):
+            _remove(fn, block, op)
+            return True
+    return False
+
+
+def _is_renamable_temp(fn: IRFunction, ref: TensorRef) -> Optional[Buffer]:
+    """The buffer behind a whole, non-argument reference (else None)."""
+    if not ref.is_whole:
+        return None
+    buffer = fn.buffers.get(ref.root.uid)
+    if buffer is None or buffer.is_argument:
+        return None
+    return buffer
+
+
+def _memory_compatible(temp: Buffer, other: TensorRef, fn: IRFunction) -> bool:
+    if temp.memory is MemoryKind.NONE:
+        return True
+    counterpart = fn.buffers.get(other.root.uid)
+    return counterpart is not None and counterpart.memory is temp.memory
+
+
+def _roundtrip_alias(fn: IRFunction, block: Block) -> bool:
+    """Figure 10a: alias a copy-in/copy-out temporary onto its source.
+
+    Safe because the dependence analysis gave the launch exclusive
+    (read-write) access to the source for the whole span between the two
+    copies, so no other reader observes the intermediate states.
+    """
+    for i, cin in enumerate(block.ops):
+        if not isinstance(cin, CopyOp):
+            continue
+        temp = _is_renamable_temp(fn, cin.dst)
+        if temp is None or not _memory_compatible(temp, cin.src, fn):
+            continue
+        for cout in block.ops[i + 1 :]:
+            if not isinstance(cout, CopyOp):
+                continue
+            if cout.src.root.uid != temp.tensor.uid or not cout.src.is_whole:
+                continue
+            if cout.dst.root.uid != cin.src.root.uid or not _same_path(
+                cout.dst, cin.src
+            ):
+                continue
+            _remove(fn, block, cout)
+            _remove(fn, block, cin)
+            _replace_buffer_refs(fn, temp, cin.src)
+            return True
+    return False
+
+
+def _forward_copy_in(fn: IRFunction, block: Block) -> bool:
+    for op in block.ops:
+        if not isinstance(op, CopyOp):
+            continue
+        temp = _is_renamable_temp(fn, op.dst)
+        if temp is None or not _memory_compatible(temp, op.src, fn):
+            continue
+        if _write_count(fn, temp) != 1:
+            continue
+        _remove(fn, block, op)
+        _replace_buffer_refs(fn, temp, op.src)
+        return True
+    return False
+
+
+def _forward_copy_out(fn: IRFunction, block: Block) -> bool:
+    for op in block.ops:
+        if not isinstance(op, CopyOp):
+            continue
+        temp = _is_renamable_temp(fn, op.src)
+        if temp is None or not _memory_compatible(temp, op.dst, fn):
+            continue
+        if _read_count(fn, temp) != 1:
+            continue
+        _remove(fn, block, op)
+        _replace_buffer_refs(fn, temp, op.dst)
+        return True
+    return False
+
+
+def _duplicate_copy(fn: IRFunction, block: Block) -> bool:
+    for i, first in enumerate(block.ops):
+        if not isinstance(first, CopyOp):
+            continue
+        for second in block.ops[i + 1 :]:
+            if isinstance(second, CopyOp) and _same_copy(first, second):
+                # Users of the duplicate wait on the first copy instead.
+                surviving = (
+                    first.result.use_all()
+                    if first.result.type
+                    else first.result.use()
+                )
+                second.preconds = [surviving]
+                _remove(fn, block, second)
+                return True
+            if _writes_buffer(second, first.src.root.uid) or _writes_buffer(
+                second, first.dst.root.uid
+            ):
+                break
+    return False
+
+
+def _redundant_load(fn: IRFunction, block: Block) -> bool:
+    """Figure 10c generalized: two loads of the same data into distinct
+    whole temporaries in the same memory share one allocation.
+
+    This is what leaves Dual-GEMM with a single A-tile load per K step:
+    both multiplications' copy-ins read the same ``Ap[0, k]``.
+    """
+    for i, first in enumerate(block.ops):
+        if not isinstance(first, CopyOp):
+            continue
+        first_temp = _is_renamable_temp(fn, first.dst)
+        if first_temp is None or _write_count(fn, first_temp) != 1:
+            continue
+        for second in block.ops[i + 1 :]:
+            if _writes_buffer(second, first.src.root.uid):
+                break
+            if not isinstance(second, CopyOp):
+                continue
+            if second.src.root.uid != first.src.root.uid:
+                continue
+            if not _same_path(second.src, first.src):
+                continue
+            second_temp = _is_renamable_temp(fn, second.dst)
+            if second_temp is None or second_temp is first_temp:
+                continue
+            if second_temp.memory is not first_temp.memory:
+                continue
+            if _write_count(fn, second_temp) != 1:
+                continue
+            # Consumers of the removed load must still wait on the
+            # surviving load's completion.
+            surviving = (
+                first.result.use_all()
+                if first.result.type
+                else first.result.use()
+            )
+            second.preconds = [surviving]
+            _remove(fn, block, second)
+            _replace_buffer_refs(fn, second_temp, first.dst)
+            return True
+    return False
+
+
+def _spill_hoist(fn: IRFunction, block: Block) -> bool:
+    """Figure 10b: hoist a loop-invariant copy round trip out of a loop.
+
+    Matches ``copy(P, t) ... copy(t, P)`` inside a ``for`` body where
+    both references are loop-index free and ``P`` has no other uses in
+    the body; the pair becomes a preamble/postamble around the loop.
+    """
+    for position, loop in enumerate(block.ops):
+        if not isinstance(loop, ForOp):
+            continue
+        body = loop.body
+        for cin in body.ops:
+            if not isinstance(cin, CopyOp):
+                continue
+            if loop.index.name in cin.src.free_variables():
+                continue
+            if loop.index.name in cin.dst.free_variables():
+                continue
+            cout = _matching_copy_out(body, cin)
+            if cout is None:
+                continue
+            if _other_uses_in_body(body, cin, cout, cin.src.root.uid):
+                continue
+            body.ops.remove(cin)
+            body.ops.remove(cout)
+            if body.yield_use is not None and body.yield_use.event in (
+                cin.result,
+                cout.result,
+            ):
+                body.yield_use = _previous_event_use(body, cout)
+            # The copy-in keeps only loop-external preconditions and the
+            # loop adds a dependence on it; in-body consumers of the
+            # copy-in's event still reference it (now defined earlier).
+            cin.preconds = [
+                use
+                for use in cin.preconds
+                if not _defined_in(body, use)
+            ]
+            block.ops.insert(position, cin)
+            position += 1
+            # The copy-out waits for the loop to complete, plus any
+            # loop-external anti-dependencies it already carried.
+            external = [
+                use for use in cout.preconds if not _defined_in(body, use)
+            ]
+            cout.preconds = external + [loop.result.use()]
+            block.ops.insert(position + 1, cout)
+            if cin.result is not None:
+                use = (
+                    cin.result.use_all()
+                    if cin.result.type
+                    else cin.result.use()
+                )
+                if use not in loop.preconds:
+                    loop.preconds.append(use)
+            return True
+    return False
+
+
+def _invariant_copy_hoist(fn: IRFunction, block: Block) -> bool:
+    """Hoist a loop-invariant read-only copy-in out of a loop.
+
+    A copy whose source and destination are loop-index free, whose
+    destination is written by nothing else, and whose source is not
+    written inside the loop produces the same bytes every iteration —
+    it moves to the loop preamble (e.g. the Q tile of Flash Attention,
+    loaded once and reused across all KV iterations).
+    """
+    for position, loop in enumerate(block.ops):
+        if not isinstance(loop, ForOp):
+            continue
+        body = loop.body
+        for cin in body.ops:
+            if not isinstance(cin, CopyOp):
+                continue
+            if loop.index.name in cin.src.free_variables():
+                continue
+            if loop.index.name in cin.dst.free_variables():
+                continue
+            dst_buffer = fn.buffers.get(cin.dst.root.uid)
+            if dst_buffer is None or dst_buffer.is_argument:
+                continue
+            if _write_count(fn, dst_buffer) != 1:
+                continue
+            src_written = any(
+                _writes_buffer(op, cin.src.root.uid)
+                for op in body.walk()
+                if op is not cin
+            )
+            if src_written:
+                continue
+            body.ops.remove(cin)
+            if body.yield_use is not None and body.yield_use.event is (
+                cin.result
+            ):
+                body.yield_use = _previous_event_use(body, cin)
+            cin.preconds = [
+                use for use in cin.preconds if not _defined_in(body, use)
+            ]
+            block.ops.insert(position, cin)
+            if cin.result is not None:
+                use = (
+                    cin.result.use_all()
+                    if cin.result.type
+                    else cin.result.use()
+                )
+                if use not in loop.preconds:
+                    loop.preconds.append(use)
+            return True
+    return False
+
+
+def _matching_copy_out(body: Block, cin: CopyOp) -> Optional[CopyOp]:
+    seen_cin = False
+    for op in body.ops:
+        if op is cin:
+            seen_cin = True
+            continue
+        if not seen_cin or not isinstance(op, CopyOp):
+            continue
+        if (
+            op.src.root.uid == cin.dst.root.uid
+            and _same_path(op.src, cin.dst)
+            and op.dst.root.uid == cin.src.root.uid
+            and _same_path(op.dst, cin.src)
+        ):
+            return op
+    return None
+
+
+def _other_uses_in_body(
+    body: Block, cin: CopyOp, cout: CopyOp, uid: int
+) -> bool:
+    for op in body.walk():
+        if op is cin or op is cout:
+            continue
+        for ref in op.tensor_uses():
+            if ref.root.uid == uid:
+                return True
+    return False
+
+
+def _defined_in(body: Block, use: EventUse) -> bool:
+    for op in body.walk():
+        if op.result is use.event:
+            return True
+    return False
+
+
+# ----------------------------------------------------------------------
+# Structural helpers
+# ----------------------------------------------------------------------
+def _same_path(a: TensorRef, b: TensorRef) -> bool:
+    if len(a.path) != len(b.path):
+        return False
+    for (pa, ia), (pb, ib) in zip(a.path, b.path):
+        if type(pa) is not type(pb) or ia != ib:
+            return False
+        if isinstance(pa, BlocksPartition):
+            if pa.block_shape != pb.block_shape:
+                return False
+        if isinstance(pa, MmaPartition):
+            if (pa.atom, pa.proc, pa.operand) != (
+                pb.atom,
+                pb.proc,
+                pb.operand,
+            ):
+                return False
+    return True
+
+
+def _same_copy(a: CopyOp, b: CopyOp) -> bool:
+    return (
+        a.src.root.uid == b.src.root.uid
+        and a.dst.root.uid == b.dst.root.uid
+        and _same_path(a.src, b.src)
+        and _same_path(a.dst, b.dst)
+    )
+
+
+def _writes_buffer(op: Operation, uid: int) -> bool:
+    if isinstance(op, CopyOp):
+        return op.dst.root.uid == uid
+    if isinstance(op, CallOp):
+        return any(w.root.uid == uid for w in op.writes)
+    if isinstance(op, (ForOp, PForOp)):
+        return any(_writes_buffer(inner, uid) for inner in op.body.walk())
+    return False
+
+
+def _write_count(fn: IRFunction, buffer: Buffer) -> int:
+    uid = buffer.tensor.uid
+    count = 0
+    for op in fn.walk():
+        if isinstance(op, CopyOp) and op.dst.root.uid == uid:
+            count += 1
+        elif isinstance(op, CallOp):
+            count += sum(1 for w in op.writes if w.root.uid == uid)
+    return count
+
+
+def _read_count(fn: IRFunction, buffer: Buffer) -> int:
+    uid = buffer.tensor.uid
+    count = 0
+    for op in fn.walk():
+        if isinstance(op, CopyOp) and op.src.root.uid == uid:
+            count += 1
+        elif isinstance(op, CallOp):
+            count += sum(1 for r in op.reads if r.root.uid == uid)
+    return count

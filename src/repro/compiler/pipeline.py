@@ -1,0 +1,136 @@
+"""The pass pipeline driver (paper Figure 6).
+
+``compile_program`` runs dependence analysis, vectorization, copy
+elimination, shared-memory allocation, warp specialization with
+pipelining, and both backends, verifying the IR between passes. The
+result bundles every intermediate artifact so tests and tools can
+inspect each stage.
+"""
+
+from __future__ import annotations
+
+import copy
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.compiler.allocation import AllocationReport, allocate_shared
+from repro.compiler.codegen_cuda import generate_cuda
+from repro.compiler.codegen_sim import lower_to_schedule
+from repro.compiler.copy_elim import eliminate_copies
+from repro.compiler.dependence import DependenceAnalysis
+from repro.compiler.vectorize import vectorize
+from repro.compiler.warpspec import WarpSpecReport, specialize_warps
+from repro.frontend.mapping import MappingSpec, TaskMapping
+from repro.gpusim.kernel import KernelSchedule
+from repro.ir.module import IRFunction
+from repro.ir.verifier import verify_function
+from repro.machine.processor import ProcessorKind
+from repro.tensors.dtype import DType
+
+
+@dataclass
+class CompiledKernel:
+    """Everything the compiler produced for one kernel instantiation."""
+
+    name: str
+    dependence_ir: IRFunction
+    final_ir: IRFunction
+    schedule: KernelSchedule
+    cuda_source: str
+    allocation: AllocationReport
+    warpspec: WarpSpecReport
+    metadata: Dict[str, Any] = field(default_factory=dict)
+
+
+def compile_program(
+    spec: MappingSpec,
+    name: str,
+    arg_shapes: Sequence[Tuple[int, ...]],
+    arg_dtypes: Sequence[DType],
+    total_flops: float,
+    unique_dram_bytes: float,
+    scalar_args: Optional[Dict[str, Any]] = None,
+    use_tma: Optional[bool] = None,
+) -> CompiledKernel:
+    """Compile a mapped Cypress program for concrete argument shapes.
+
+    Args:
+        spec: the validated mapping specification (carries the registry
+            and the target machine).
+        name: kernel name for reports and generated code.
+        arg_shapes / arg_dtypes: one entry per entrypoint tensor
+            parameter.
+        total_flops: useful arithmetic of the whole kernel, for TFLOP/s
+            reporting.
+        unique_dram_bytes: compulsory global traffic (the operands'
+            footprint), for the HBM roofline.
+        scalar_args: values for non-tensor entrypoint parameters.
+        use_tma: force the copy mechanism; defaults to the machine's
+            capability.
+    """
+    analysis = DependenceAnalysis(spec, name)
+    fn = analysis.run(arg_shapes, arg_dtypes, scalar_args)
+    verify_function(fn)
+    dependence_ir = copy.deepcopy(fn)
+
+    vectorize(fn)
+    verify_function(fn)
+
+    eliminate_copies(fn)
+    verify_function(fn)
+
+    block_mapping = _block_instance(spec)
+    limit = spec.smem_limit(block_mapping) if block_mapping else None
+    allocation = allocate_shared(fn, limit)
+
+    warpspecialize = bool(block_mapping and block_mapping.warpspecialize)
+    pipeline_depth = block_mapping.pipeline if block_mapping else 1
+    warpspec = specialize_warps(
+        fn, enabled=warpspecialize, pipeline_depth=pipeline_depth
+    )
+
+    schedule = lower_to_schedule(
+        fn,
+        spec.registry,
+        total_flops=total_flops,
+        unique_dram_bytes=unique_dram_bytes,
+        use_tma=use_tma,
+    )
+    cuda_source = generate_cuda(fn)
+
+    return CompiledKernel(
+        name=name,
+        dependence_ir=dependence_ir,
+        final_ir=fn,
+        schedule=schedule,
+        cuda_source=cuda_source,
+        allocation=allocation,
+        warpspec=warpspec,
+        metadata={
+            "machine": spec.machine.name,
+            "entry": spec.entrypoint.instance,
+        },
+    )
+
+
+def _block_instance(spec: MappingSpec) -> Optional[TaskMapping]:
+    """The BLOCK-level instance carrying warpspec/pipeline directives.
+
+    Prefers an instance that explicitly requests warp specialization or
+    a pipeline; falls back to the first BLOCK-level instance reached
+    from the entrypoint.
+    """
+    candidates = [
+        m
+        for m in spec.by_instance.values()
+        if m.proc is ProcessorKind.BLOCK
+        and (m.warpspecialize or m.pipeline > 1)
+    ]
+    if candidates:
+        return candidates[0]
+    blocks = [
+        m
+        for m in spec.by_instance.values()
+        if m.proc is ProcessorKind.BLOCK
+    ]
+    return blocks[0] if blocks else None

@@ -1,0 +1,152 @@
+"""Warp specialization and software pipelining (paper section 4.2.5).
+
+Warp specialization partitions the block-level dependence graph between
+a data-movement (DMA) warp and the compute warpgroups: all copies whose
+source lives in global memory and destination in shared memory (and the
+TMA stores back out) are assigned to the DMA warp; every other operation
+belongs to the compute warpgroups. Dependence edges crossing the
+partition become barrier synchronizations in generated code (Figure 12).
+
+Pipelining unrolls a loop's dependence graph to the requested depth and
+compacts it back, which in our IR amounts to: multi-buffering every
+shared tile written by a DMA copy inside the loop (the ``PIPE``
+dimension of Figure 1b) and recording backward write-after-read
+dependencies so an asynchronous copy for iteration ``k`` begins only
+after the consumers of its destination buffer finished iteration
+``k - PIPE``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import CompileError
+from repro.ir.module import Buffer, IRFunction
+from repro.ir.ops import Block, CallOp, CopyOp, ForOp, Operation, PForOp
+from repro.machine.memory import MemoryKind
+
+DMA = "dma"
+COMPUTE = "compute"
+
+
+@dataclass
+class WarpSpecReport:
+    """Summary stored in ``fn.metadata['warpspec']``."""
+
+    enabled: bool
+    pipeline_depth: int
+    dma_ops: int = 0
+    compute_ops: int = 0
+    crossing_edges: int = 0
+    pipelined_buffers: List[str] = field(default_factory=list)
+
+
+def specialize_warps(
+    fn: IRFunction,
+    enabled: bool = True,
+    pipeline_depth: int = 1,
+) -> WarpSpecReport:
+    """Assign warp roles and pipeline the block-level main loops."""
+    report = WarpSpecReport(enabled=enabled, pipeline_depth=pipeline_depth)
+    body = block_body(fn)
+    for op in body.walk():
+        op.role = _role_of(fn, op) if enabled else COMPUTE
+        if op.role == DMA:
+            report.dma_ops += 1
+        else:
+            report.compute_ops += 1
+    report.crossing_edges = _count_crossing_edges(body)
+    for op in body.ops:
+        if isinstance(op, ForOp):
+            pipelined = _pipeline_loop(fn, op, pipeline_depth)
+            report.pipelined_buffers.extend(pipelined)
+    fn.metadata["warpspec"] = report
+    return report
+
+
+def block_body(fn: IRFunction) -> Block:
+    """The per-thread-block body: inside the grid ``pfor`` nest."""
+    block = fn.body
+    while True:
+        grid_loops = [
+            op
+            for op in block.ops
+            if isinstance(op, PForOp)
+            and op.proc.name == "BLOCK"
+        ]
+        if not grid_loops:
+            return block
+        if len(grid_loops) > 1:
+            raise CompileError(
+                "multiple grid-level parallel loops in one block; "
+                "fuse them in the logical description"
+            )
+        block = grid_loops[0].body
+
+
+def _role_of(fn: IRFunction, op: Operation) -> str:
+    if isinstance(op, CopyOp):
+        src = fn.buffers.get(op.src.root.uid)
+        dst = fn.buffers.get(op.dst.root.uid)
+        if src is None or dst is None:
+            return COMPUTE
+        if src.memory is MemoryKind.GLOBAL and dst.memory is (
+            MemoryKind.SHARED
+        ):
+            return DMA
+        if src.memory is MemoryKind.SHARED and dst.memory is (
+            MemoryKind.GLOBAL
+        ):
+            return DMA
+    if isinstance(op, CallOp) and op.cost_kind in ("tma_load", "tma_store"):
+        return DMA
+    return COMPUTE
+
+
+def _count_crossing_edges(body: Block) -> int:
+    producers: Dict[int, str] = {}
+    for op in body.walk():
+        if op.result is not None:
+            producers[id(op.result)] = getattr(op, "role", COMPUTE)
+    crossing = 0
+    for op in body.walk():
+        role = getattr(op, "role", COMPUTE)
+        for use in op.preconds:
+            producer_role = producers.get(id(use.event))
+            if producer_role is not None and producer_role != role:
+                crossing += 1
+    return crossing
+
+
+def _pipeline_loop(
+    fn: IRFunction, loop: ForOp, depth: int
+) -> List[str]:
+    """Multi-buffer DMA destinations and record backward dependencies."""
+    loop.pipeline = depth
+    pipelined: List[str] = []
+    body_ops = list(loop.body.walk())
+    for op in body_ops:
+        if not isinstance(op, CopyOp) or getattr(op, "role", None) != DMA:
+            continue
+        dst = fn.buffers.get(op.dst.root.uid)
+        if dst is None or dst.memory is not MemoryKind.SHARED:
+            continue
+        if dst.pipeline_depth < depth:
+            dst.pipeline_depth = depth
+            pipelined.append(dst.name)
+        consumers = [
+            other
+            for other in body_ops
+            if other is not op
+            and any(
+                ref.root.uid == dst.tensor.uid
+                for ref in other.tensor_uses()
+            )
+        ]
+        # Iteration k of this copy may start only once the consumers of
+        # buffer slot (k mod depth) finished iteration k - depth. These
+        # are the dashed backward edges of Figure 12.
+        op.war_distance = depth
+        op.war_consumers = [c.uid for c in consumers]
+    return pipelined

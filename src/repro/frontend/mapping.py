@@ -1,0 +1,203 @@
+"""Mapping specifications (paper section 3.3, Figure 5b).
+
+A mapping specification statically instantiates a tree of task instances.
+Each instance names a task variant, a processor level, a memory per
+tensor argument, tunable bindings, and the instances its child launches
+dispatch to. Mapping decisions can only affect performance, never
+correctness; this module validates structural consistency and the
+machine-visibility rules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Sequence, Tuple
+
+from repro.errors import MappingError
+from repro.frontend.task import TaskRegistry, TaskVariant
+from repro.machine.machine import MachineModel
+from repro.machine.memory import MemoryKind
+from repro.machine.processor import ProcessorKind, depth_of
+
+
+@dataclass
+class TaskMapping:
+    """One instance of a task variant bound to the machine.
+
+    Attributes:
+        instance: unique name of this instance.
+        variant: the task variant the instance executes.
+        proc: processor level the variant runs at.
+        mems: memory placement per tensor argument, in parameter order.
+        tunables: values for the variant's tunables.
+        calls: instance names child launches dispatch to; a launch of
+            task ``T`` dispatches to the unique entry in ``calls`` whose
+            variant implements ``T``.
+        entrypoint: True for the root of the task tree.
+        warpspecialize: split this instance's body into DMA and compute
+            warps (section 4.2.5).
+        pipeline: software-pipeline depth for this instance's main loop.
+        smem_limit_bytes: per-thread-block shared memory bound for the
+            resource allocator (section 4.2.4); None means the machine's
+            full shared memory.
+    """
+
+    instance: str
+    variant: str
+    proc: ProcessorKind
+    mems: Tuple[MemoryKind, ...]
+    tunables: Dict[str, Any] = field(default_factory=dict)
+    calls: Tuple[str, ...] = ()
+    entrypoint: bool = False
+    warpspecialize: bool = False
+    pipeline: int = 1
+    smem_limit_bytes: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        self.mems = tuple(self.mems)
+        self.calls = tuple(self.calls)
+        if self.pipeline < 1:
+            raise MappingError(
+                f"instance {self.instance!r}: pipeline depth must be >= 1"
+            )
+
+
+class MappingSpec:
+    """A validated set of task mappings forming an instance tree."""
+
+    def __init__(
+        self,
+        mappings: Sequence[TaskMapping],
+        registry: TaskRegistry,
+        machine: MachineModel,
+    ):
+        self.registry = registry
+        self.machine = machine
+        self.by_instance: Dict[str, TaskMapping] = {}
+        for mapping in mappings:
+            if mapping.instance in self.by_instance:
+                raise MappingError(
+                    f"duplicate task-mapping instance {mapping.instance!r}"
+                )
+            self.by_instance[mapping.instance] = mapping
+        self._validate()
+
+    # ------------------------------------------------------------------
+    @property
+    def entrypoint(self) -> TaskMapping:
+        roots = [m for m in self.by_instance.values() if m.entrypoint]
+        if len(roots) != 1:
+            raise MappingError(
+                f"a mapping needs exactly one entrypoint, found {len(roots)}"
+            )
+        return roots[0]
+
+    def instance(self, name: str) -> TaskMapping:
+        if name not in self.by_instance:
+            raise MappingError(
+                f"unknown task-mapping instance {name!r}; known instances: "
+                f"{sorted(self.by_instance)}"
+            )
+        return self.by_instance[name]
+
+    def variant_of(self, mapping: TaskMapping) -> TaskVariant:
+        return self.registry.variant(mapping.variant)
+
+    def dispatch(
+        self,
+        caller: TaskMapping,
+        task_name: str,
+        hint: Optional[str] = None,
+    ) -> TaskMapping:
+        """The child instance a launch of ``task_name`` dispatches to.
+
+        ``hint`` (from ``launch(..., to=...)``) selects among multiple
+        instances of the same task by instance-name suffix.
+        """
+        matches = []
+        for name in caller.calls:
+            child = self.instance(name)
+            if self.variant_of(child).task_name == task_name:
+                matches.append(child)
+        if hint is not None:
+            hinted = [m for m in matches if m.instance.endswith(hint)]
+            if not hinted:
+                raise MappingError(
+                    f"instance {caller.instance!r} launches task "
+                    f"{task_name!r} with hint {hint!r}, but no call target "
+                    f"matches; targets: {[m.instance for m in matches]}"
+                )
+            matches = hinted
+        if not matches:
+            raise MappingError(
+                f"instance {caller.instance!r} launches task {task_name!r} "
+                f"but its calls list {list(caller.calls)} has no instance "
+                "of that task"
+            )
+        if len(matches) > 1:
+            raise MappingError(
+                f"instance {caller.instance!r} has multiple call targets "
+                f"for task {task_name!r}: "
+                f"{[m.instance for m in matches]}"
+            )
+        return matches[0]
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        for mapping in self.by_instance.values():
+            variant = self.variant_of(mapping)  # raises if unknown
+            if not self.machine.has_level(mapping.proc):
+                raise MappingError(
+                    f"instance {mapping.instance!r} targets processor "
+                    f"{mapping.proc.name}, absent from machine "
+                    f"{self.machine.name}"
+                )
+            tensor_params = variant.tensor_params
+            if len(mapping.mems) != len(tensor_params):
+                raise MappingError(
+                    f"instance {mapping.instance!r} maps {len(mapping.mems)} "
+                    f"memories but variant {variant.variant_name!r} has "
+                    f"{len(tensor_params)} tensor parameters "
+                    f"({', '.join(tensor_params)})"
+                )
+            for param, mem in zip(tensor_params, mapping.mems):
+                if mem is MemoryKind.NONE:
+                    continue
+                if not self.machine.is_visible(mem, mapping.proc):
+                    raise MappingError(
+                        f"instance {mapping.instance!r} places {param!r} in "
+                        f"{mem.name}, not visible from {mapping.proc.name}"
+                    )
+            for callee_name in mapping.calls:
+                callee = self.instance(callee_name)
+                if depth_of(callee.proc) < depth_of(mapping.proc):
+                    raise MappingError(
+                        f"instance {mapping.instance!r} at "
+                        f"{mapping.proc.name} calls {callee_name!r} at the "
+                        f"shallower level {callee.proc.name}"
+                    )
+            if variant.is_leaf and mapping.calls:
+                raise MappingError(
+                    f"leaf instance {mapping.instance!r} must not list calls"
+                )
+        root = self.entrypoint  # raises unless exactly one
+        if root.proc is not ProcessorKind.HOST:
+            raise MappingError(
+                f"the entrypoint {root.instance!r} must run on HOST, got "
+                f"{root.proc.name}"
+            )
+        self._check_acyclic(root.instance, ())
+
+    def _check_acyclic(self, name: str, stack: Tuple[str, ...]) -> None:
+        if name in stack:
+            cycle = " -> ".join(stack + (name,))
+            raise MappingError(f"task-mapping instances form a cycle: {cycle}")
+        mapping = self.instance(name)
+        for child in mapping.calls:
+            self._check_acyclic(child, stack + (name,))
+
+    def smem_limit(self, mapping: TaskMapping) -> int:
+        """Effective shared-memory bound for an instance's thread block."""
+        if mapping.smem_limit_bytes is not None:
+            return mapping.smem_limit_bytes
+        return self.machine.memory(MemoryKind.SHARED).capacity_bytes

@@ -1,0 +1,49 @@
+"""Privileges tasks declare over their argument tensors (section 3.2)."""
+
+from __future__ import annotations
+
+import enum
+
+
+class Privilege(enum.Enum):
+    """Effect a task may have on an argument tensor.
+
+    Privileges drive the dependence analysis: two tasks reading the same
+    tensor may run in parallel; a writer orders against all other users.
+    They also bound sub-task launches: a task may not launch a sub-task
+    requesting privileges it does not itself hold.
+    """
+
+    READ = "read"
+    WRITE = "write"
+    READ_WRITE = "read-write"
+
+    @property
+    def reads(self) -> bool:
+        return self in (Privilege.READ, Privilege.READ_WRITE)
+
+    @property
+    def writes(self) -> bool:
+        return self in (Privilege.WRITE, Privilege.READ_WRITE)
+
+    def covers(self, other: "Privilege") -> bool:
+        """May a holder of ``self`` delegate ``other`` to a sub-task?"""
+        if other.reads and not self.reads:
+            return False
+        if other.writes and not self.writes:
+            return False
+        return True
+
+    @staticmethod
+    def combine(reads: bool, writes: bool) -> "Privilege":
+        """Build a privilege from read/write membership flags."""
+        if reads and writes:
+            return Privilege.READ_WRITE
+        if writes:
+            return Privilege.WRITE
+        if reads:
+            return Privilege.READ
+        raise ValueError("a tensor argument must be read or written")
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"Privilege.{self.name}"

@@ -1,0 +1,31 @@
+"""Discrete-event Hopper GPU simulator.
+
+This package substitutes for the H100 hardware the paper evaluates on.
+The compiler lowers programs into a :class:`KernelSchedule` — per-CTA
+instruction streams for the DMA warp and each compute warpgroup, linked
+by the event dependence graph — and the executor simulates one CTA's
+streams against H100-calibrated resource servers (TMA engine, Tensor
+Core, SIMT pipelines, shared-memory bandwidth). The whole-GPU model adds
+grid scheduling: occupancy, waves, launch overhead, DRAM/L2 bandwidth
+roofs, and a deterministic power-throttle model.
+"""
+
+from repro.gpusim.kernel import Instr, KernelSchedule, Segment
+from repro.gpusim.engine import ResourcePool
+from repro.gpusim.executor import CtaResult, simulate_cta
+from repro.gpusim.gpu import GpuResult, simulate_kernel
+from repro.gpusim.barriers import MBarrier
+from repro.gpusim.functional import interpret_function
+
+__all__ = [
+    "Instr",
+    "Segment",
+    "KernelSchedule",
+    "ResourcePool",
+    "simulate_cta",
+    "CtaResult",
+    "simulate_kernel",
+    "GpuResult",
+    "MBarrier",
+    "interpret_function",
+]

@@ -1,0 +1,92 @@
+"""Shared-memory barrier (mbarrier) semantics.
+
+Hopper synchronizes warp-specialized producers and consumers with
+shared-memory barriers: a barrier is initialized with an expected
+arrival count; threads (or the TMA, on transaction completion) *arrive*,
+and waiters block until the expected count is reached, at which point
+the barrier flips phase and re-arms. The paper's code generator lowers
+cross-warp events onto these barriers (section 4.2.6, including the
+footnote on why named barriers are insufficient with TMA multicast).
+
+The discrete-event executor enforces dependences directly from the
+event graph, so this class exists to model and test the mechanism the
+generated CUDA code would use — the CUDA backend emits it — and to
+document its phase semantics.
+"""
+
+from __future__ import annotations
+
+from repro.errors import SimulationError
+
+
+class MBarrier:
+    """An mbarrier with phase-based arrive/wait semantics."""
+
+    def __init__(self, expected_arrivals: int):
+        if expected_arrivals < 1:
+            raise SimulationError(
+                "mbarrier needs a positive expected arrival count"
+            )
+        self.expected = expected_arrivals
+        self.pending = expected_arrivals
+        self.phase = 0
+        self.total_arrivals = 0
+
+    def arrive(self, count: int = 1) -> int:
+        """Record ``count`` arrivals; returns the phase arrived on."""
+        if count < 1:
+            raise SimulationError("arrival count must be positive")
+        if count > self.pending:
+            raise SimulationError(
+                f"barrier over-arrival: {count} arrivals with only "
+                f"{self.pending} pending"
+            )
+        arrived_phase = self.phase
+        self.pending -= count
+        self.total_arrivals += count
+        if self.pending == 0:
+            self.phase += 1
+            self.pending = self.expected
+        return arrived_phase
+
+    def try_wait(self, phase: int) -> bool:
+        """Would a wait on ``phase`` succeed right now?
+
+        A wait on phase ``p`` succeeds once the barrier has moved past
+        phase ``p`` (i.e., all expected arrivals for that phase landed).
+        """
+        return self.phase > phase
+
+    def expect_tx(self, bytes_expected: int) -> "TxBarrier":
+        """Hopper's transaction-count extension used by the TMA."""
+        return TxBarrier(self, bytes_expected)
+
+
+class TxBarrier:
+    """Transaction-counting view: the TMA arrives by delivered bytes."""
+
+    def __init__(self, barrier: MBarrier, bytes_expected: int):
+        if bytes_expected < 1:
+            raise SimulationError("expected transaction bytes must be > 0")
+        self.barrier = barrier
+        self.bytes_expected = bytes_expected
+        self.bytes_seen = 0
+        self._done = False
+
+    def deliver(self, nbytes: int) -> bool:
+        """Account delivered bytes; arrives on the barrier when full."""
+        if self._done:
+            raise SimulationError("transaction barrier already completed")
+        if nbytes < 1:
+            raise SimulationError("delivered bytes must be positive")
+        self.bytes_seen += nbytes
+        if self.bytes_seen > self.bytes_expected:
+            raise SimulationError(
+                f"TMA delivered {self.bytes_seen} bytes, more than the "
+                f"expected {self.bytes_expected}"
+            )
+        if self.bytes_seen == self.bytes_expected:
+            self._done = True
+            self.barrier.arrive()
+            return True
+        return False

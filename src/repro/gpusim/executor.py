@@ -1,0 +1,309 @@
+"""CTA-level schedule execution.
+
+Simulates one thread block's instruction streams: the DMA warp's stream
+and one stream per compute warpgroup. Streams issue in order; an
+instruction starts once its stream reaches it *and* its dependence
+events have completed (the explicit-waits of warp-specialized code).
+Asynchronous instructions occupy the stream only for their issue cost,
+so a DMA warp can run ``PIPE`` iterations ahead, bounded exactly by the
+backward write-after-read edges the pipelining pass recorded.
+
+For single-stream (non-warp-specialized) schedules, copies inside a
+pipelined loop are issued ``pipeline - 1`` iterations early, modeling
+the unrolled multistage prefetch of Ampere-style kernels (Figure 1a).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.errors import SimulationError
+from repro.gpusim.engine import ResourcePool
+from repro.gpusim.kernel import Instr, KernelSchedule, Segment
+from repro.machine.machine import MachineModel
+
+
+@dataclass
+class CtaResult:
+    """Timing of one simulated CTA."""
+
+    cycles: float
+    busy: Dict[str, float]
+    stream_cycles: Dict[str, float]
+    dynamic_instructions: int
+
+    def utilization(self, resource: str) -> float:
+        if self.cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy.get(resource, 0.0) / self.cycles)
+
+
+@dataclass
+class _Item:
+    """One dynamic instruction instance on a stream."""
+
+    instr: Instr
+    iteration: int
+    segment: int
+
+
+def simulate_cta(
+    schedule: KernelSchedule, machine: MachineModel
+) -> CtaResult:
+    """Simulate one CTA of ``schedule`` on ``machine``."""
+    pool = ResourcePool(machine)
+    streams = _build_streams(schedule)
+    completion: Dict[Tuple[int, int, int], float] = {}
+    counts: Dict[Tuple[int, int, int], int] = {}
+    expected = _expected_instances(streams)
+    stream_time: Dict[str, float] = {name: 0.0 for name in streams}
+    cursor: Dict[str, int] = {name: 0 for name in streams}
+    dynamic = sum(len(items) for items in streams.values())
+
+    # Event-driven issue: among all stream heads whose dependencies are
+    # met, process the one with the earliest feasible start time. This
+    # keeps resource reservations close to time order (hardware FIFOs
+    # serve requests as they arrive, not in an arbitrary stream order).
+    remaining = dynamic
+    while remaining:
+        best_name = None
+        best_start = None
+        best_ready = 0.0
+        for name, items in streams.items():
+            idx = cursor[name]
+            if idx >= len(items):
+                continue
+            item = items[idx]
+            ready = _deps_ready(item, completion, counts, expected, schedule)
+            if ready is None:
+                continue
+            start = max(stream_time[name], ready)
+            if best_start is None or start < best_start:
+                best_name, best_start, best_ready = name, start, ready
+        if best_name is None:
+            raise SimulationError(
+                "schedule deadlocked: circular dependence between "
+                "instruction streams"
+            )
+        name = best_name
+        item = streams[name][cursor[name]]
+        start = best_start
+        issue = pool.issue_cycles(item.instr.kind, item.instr.bytes_moved)
+        finish = pool.completion(item.instr.kind, start + issue, item.instr)
+        blocking = item.instr.kind in ("simt", "sfu", "smem_copy",
+                                       "ld_global", "st_global")
+        stream_time[name] = finish if blocking else start + issue
+        key = (item.segment, item.iteration, item.instr.uid)
+        completion[key] = max(completion.get(key, 0.0), finish)
+        counts[key] = counts.get(key, 0) + 1
+        cursor[name] = cursor[name] + 1
+        remaining -= 1
+
+    cycles = max(
+        list(stream_time.values())
+        + [t for t in completion.values()]
+        + [0.0]
+    )
+    return CtaResult(
+        cycles=cycles,
+        busy=pool.busy_times(),
+        stream_cycles=dict(stream_time),
+        dynamic_instructions=dynamic,
+    )
+
+
+# ----------------------------------------------------------------------
+# Stream construction
+# ----------------------------------------------------------------------
+def _build_streams(schedule: KernelSchedule) -> Dict[str, List[_Item]]:
+    names = [f"wg{i}" for i in range(schedule.n_warpgroups)]
+    if schedule.warpspecialized:
+        names.append("dma")
+    streams: Dict[str, List[_Item]] = {name: [] for name in names}
+
+    for seg_idx, segment in enumerate(schedule.segments):
+        if schedule.warpspecialized:
+            _emit_warpspec(streams, schedule, seg_idx, segment)
+        else:
+            _emit_single(streams, schedule, seg_idx, segment)
+    return streams
+
+
+def _emit_warpspec(
+    streams: Dict[str, List[_Item]],
+    schedule: KernelSchedule,
+    seg_idx: int,
+    segment: Segment,
+) -> None:
+    for k in range(segment.extent):
+        for instr in segment.instrs:
+            if instr.role == "dma":
+                streams["dma"].append(_Item(instr, k, seg_idx))
+            else:
+                for wg in range(schedule.n_warpgroups):
+                    streams[f"wg{wg}"].append(
+                        _Item(_per_wg(instr, schedule), k, seg_idx)
+                    )
+
+
+def _emit_single(
+    streams: Dict[str, List[_Item]],
+    schedule: KernelSchedule,
+    seg_idx: int,
+    segment: Segment,
+) -> None:
+    """Single-stream emission with multistage prefetch reordering.
+
+    Copies that depend on same-iteration compute results (like the
+    serialized B2 load of the modeled Triton Dual-GEMM) cannot be
+    prefetched; they stay in program position.
+    """
+    prefetch = segment.pipeline - 1 if segment.is_loop else 0
+    copies = [
+        i for i in segment.instrs if i.role == "dma" and not i.deps
+    ]
+    compute = [i for i in segment.instrs if i not in copies]
+    schedule_rows: List[Tuple[Instr, int]] = []
+    if prefetch > 0:
+        for k in range(min(prefetch, segment.extent)):
+            for instr in copies:
+                schedule_rows.append((instr, k))
+        for k in range(segment.extent):
+            fetch_iter = k + prefetch
+            if fetch_iter < segment.extent:
+                for instr in copies:
+                    schedule_rows.append((instr, fetch_iter))
+            for instr in compute:
+                schedule_rows.append((instr, k))
+    else:
+        for k in range(segment.extent):
+            for instr in segment.instrs:
+                schedule_rows.append((instr, k))
+    for instr, k in schedule_rows:
+        for wg in range(schedule.n_warpgroups):
+            copy_like = instr.role == "dma"
+            item_instr = instr if copy_like and wg == 0 else _per_wg(
+                instr, schedule
+            )
+            if copy_like and wg != 0:
+                continue  # a single warp issues each block-wide copy
+            streams[f"wg{wg}"].append(_Item(item_instr, k, seg_idx))
+
+
+def _per_wg(instr: Instr, schedule: KernelSchedule) -> Instr:
+    """A compute instruction's per-warpgroup share.
+
+    Work annotated on the instruction covers all warpgroups; each
+    stream executes 1/Nth of it. The shared variant is cached on the
+    instruction so repeated loop iterations reuse one object.
+    """
+    n = schedule.n_warpgroups
+    if n == 1:
+        return instr
+    cached = getattr(instr, "_per_wg_variant", None)
+    if cached is not None:
+        return cached
+    variant = Instr(
+        uid=instr.uid,
+        kind=instr.kind,
+        role=instr.role,
+        bytes_moved=instr.bytes_moved // n,
+        flops=instr.flops / n,
+        sfu_ops=instr.sfu_ops / n,
+        deps=instr.deps,
+        carried_deps=instr.carried_deps,
+        war_distance=instr.war_distance,
+        war_consumers=instr.war_consumers,
+        label=instr.label,
+    )
+    instr._per_wg_variant = variant
+    return variant
+
+
+# ----------------------------------------------------------------------
+# Dependence resolution
+# ----------------------------------------------------------------------
+def _expected_instances(
+    streams: Dict[str, List[_Item]]
+) -> Dict[Tuple[int, int, int], int]:
+    """How many stream instances each dynamic instruction has.
+
+    A compute instruction replicated across N warpgroups only counts as
+    complete once all N instances finish (the warpgroup barrier).
+    """
+    expected: Dict[Tuple[int, int, int], int] = {}
+    for items in streams.values():
+        for item in items:
+            key = (item.segment, item.iteration, item.instr.uid)
+            expected[key] = expected.get(key, 0) + 1
+    return expected
+
+
+def _deps_ready(
+    item: _Item,
+    completion: Dict[Tuple[int, int, int], float],
+    counts: Dict[Tuple[int, int, int], int],
+    expected: Dict[Tuple[int, int, int], int],
+    schedule: KernelSchedule,
+):
+    """Latest completion among the item's dependencies, or None if some
+    dependency has not fully completed yet."""
+    ready = 0.0
+    instr = item.instr
+
+    def dep_time(segment: int, iteration: int, uid: int):
+        return _lookup(
+            completion, counts, expected, schedule, segment, iteration, uid
+        )
+
+    for dep in instr.deps:
+        time = dep_time(item.segment, item.iteration, dep)
+        if time is None:
+            return None
+        ready = max(ready, time)
+    for dep, distance in instr.carried_deps:
+        target = item.iteration - distance
+        if target < 0:
+            continue
+        time = dep_time(item.segment, target, dep)
+        if time is None:
+            return None
+        ready = max(ready, time)
+    if instr.war_distance > 0:
+        target = item.iteration - instr.war_distance
+        if target >= 0:
+            for consumer in instr.war_consumers:
+                time = dep_time(item.segment, target, consumer)
+                if time is None:
+                    return None
+                ready = max(ready, time)
+    return ready
+
+
+def _lookup(
+    completion: Dict[Tuple[int, int, int], float],
+    counts: Dict[Tuple[int, int, int], int],
+    expected: Dict[Tuple[int, int, int], int],
+    schedule: KernelSchedule,
+    segment: int,
+    iteration: int,
+    uid: int,
+):
+    """Find a dependency's completion, searching earlier segments too."""
+    key = (segment, iteration, uid)
+    if key in expected:
+        if counts.get(key, 0) < expected[key]:
+            return None
+        return completion[key]
+    # The producer lives in another segment (loop-external dependence):
+    # it completes once, at its own final instance.
+    for seg_idx, seg in enumerate(schedule.segments):
+        if seg_idx == segment:
+            continue
+        if any(i.uid == uid for i in seg.instrs):
+            return _lookup(
+                completion, counts, expected, schedule,
+                seg_idx, seg.extent - 1, uid,
+            )
+    raise SimulationError(f"instruction depends on unknown uid {uid}")

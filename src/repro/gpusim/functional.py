@@ -1,0 +1,193 @@
+"""Functional (numpy) execution of IR functions.
+
+Executes an :class:`IRFunction` with real data, honoring the sequential
+semantics the compiler must preserve: operations run in program order,
+sequential loops iterate, parallel loops iterate sequentially (the
+semantics of ``prange`` are *as if* it were ``srange``), and flattened
+processor dimensions (references containing ``warp_id()`` etc.) are
+enumerated exhaustively. Works on the IR at any stage before buffers are
+physically aliased (i.e., up to and including copy elimination), which
+is what the end-to-end correctness tests exercise.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+import numpy as np
+
+from repro.errors import FunctionalError
+from repro.frontend.task import TaskRegistry
+from repro.ir.module import IRFunction
+from repro.ir.ops import AllocOp, Block, CallOp, CopyOp, ForOp, PForOp
+from repro.machine.processor import ProcessorKind
+from repro.tensors.mma_partition import MmaPartition
+from repro.tensors.tensor import TensorRef
+
+_DEFAULT_EXTENTS = {"warp": 4, "thread": 32, "warpgroup": 1, "block": 1}
+
+
+def interpret_function(
+    fn: IRFunction,
+    registry: TaskRegistry,
+    inputs: Mapping[str, np.ndarray],
+) -> Dict[str, np.ndarray]:
+    """Execute ``fn`` on numpy inputs; returns arrays per parameter."""
+    interp = _Interpreter(fn, registry)
+    return interp.run(inputs)
+
+
+class _Interpreter:
+    def __init__(self, fn: IRFunction, registry: TaskRegistry):
+        self.fn = fn
+        self.registry = registry
+        self.storage: Dict[Tuple, np.ndarray] = {}
+        extents = dict(_DEFAULT_EXTENTS)
+        extents.update(fn.metadata.get("proc_extents", {}))
+        self.proc_extents = extents
+
+    # ------------------------------------------------------------------
+    def run(self, inputs: Mapping[str, np.ndarray]) -> Dict[str, np.ndarray]:
+        for param in self.fn.params:
+            if param.name not in inputs:
+                raise FunctionalError(
+                    f"missing input for parameter {param.name!r}"
+                )
+            array = np.array(
+                inputs[param.name], dtype=param.dtype.to_numpy()
+            )
+            if tuple(array.shape) != param.shape:
+                raise FunctionalError(
+                    f"input {param.name!r} has shape {array.shape}, "
+                    f"expected {param.shape}"
+                )
+            self.storage[(param.tensor.uid,)] = array
+        self._run_block(self.fn.body, {})
+        return {
+            p.name: self.storage[(p.tensor.uid,)] for p in self.fn.params
+        }
+
+    def _array_for(
+        self, ref: TensorRef, bound: Optional[Mapping[str, int]] = None
+    ) -> np.ndarray:
+        uid = ref.root.uid
+        buffer = self.fn.buffers.get(uid)
+        if buffer is None:
+            raise FunctionalError(f"reference {ref!r} has no declared buffer")
+        # Buffers private to flattened processor levels (per-thread
+        # register fragments) get one array per processor instance.
+        private = sorted(getattr(buffer, "private_levels", ()))
+        key: Tuple = (uid,)
+        if private and bound is not None:
+            key = (uid,) + tuple(bound.get(level, 0) for level in private)
+        if key not in self.storage:
+            self.storage[key] = np.zeros(
+                buffer.shape, dtype=buffer.dtype.to_numpy()
+            )
+        return self.storage[key]
+
+    # ------------------------------------------------------------------
+    def _run_block(self, block: Block, env: Dict[str, int]) -> None:
+        for op in block.ops:
+            if isinstance(op, AllocOp):
+                continue
+            if isinstance(op, (ForOp, PForOp)):
+                for k in range(op.extent):
+                    inner = dict(env)
+                    inner[op.index.name] = k
+                    self._run_block(op.body, inner)
+                continue
+            if isinstance(op, CopyOp):
+                self._run_copy(op, env)
+                continue
+            if isinstance(op, CallOp):
+                self._run_call(op, env)
+                continue
+            raise FunctionalError(f"cannot interpret op {op!r}")
+
+    # ------------------------------------------------------------------
+    def _proc_envs(self, refs: List[TensorRef], env: Dict[str, int]):
+        """Environments covering the flattened processor indices."""
+        levels: List[str] = []
+        for ref in refs:
+            for name in ref.free_variables():
+                if name in ("warpgroup", "warp", "thread", "block"):
+                    if name not in env and name not in levels:
+                        levels.append(name)
+        if not levels:
+            yield env
+            return
+        extents = [self.proc_extents.get(level, 1) for level in levels]
+        for combo in itertools.product(*(range(e) for e in extents)):
+            inner = dict(env)
+            inner.update(zip(levels, combo))
+            yield inner
+
+    def _run_copy(self, op: CopyOp, env: Dict[str, int]) -> None:
+        for bound in self._proc_envs([op.src, op.dst], env):
+            src_arr = self._array_for(op.src, bound)
+            dst_arr = self._array_for(op.dst, bound)
+            value = op.src.read(src_arr, bound)
+            op.dst.write(
+                dst_arr, value.astype(dst_arr.dtype, copy=False), bound
+            )
+
+    def _run_call(self, op: CallOp, env: Dict[str, int]) -> None:
+        external = self.registry.external(op.function)
+        refs = [a for a in op.args if isinstance(a, TensorRef)]
+        for bound in self._proc_envs(refs, env):
+            if external.collective:
+                if not self._leads_collective(op, bound):
+                    continue
+                args = [
+                    self._strip_mma(a) if isinstance(a, TensorRef) else a
+                    for a in op.args
+                ]
+            else:
+                args = list(op.args)
+            arrays: List[Optional[np.ndarray]] = []
+            call_args: List[Any] = []
+            for arg in args:
+                if isinstance(arg, TensorRef):
+                    array = arg.read(self._array_for(arg, bound), bound)
+                    arrays.append(array)
+                    call_args.append(array)
+                else:
+                    arrays.append(None)
+                    call_args.append(arg)
+            external.numpy_impl(*call_args)
+            write_uids = {w.root.uid for w in op.writes}
+            for arg, array in zip(args, arrays):
+                if isinstance(arg, TensorRef) and array is not None:
+                    if arg.root.uid in write_uids:
+                        target = self._array_for(arg, bound)
+                        arg.write(
+                            target,
+                            array.astype(target.dtype, copy=False),
+                            bound,
+                        )
+
+    # ------------------------------------------------------------------
+    # Collective (wgmma-style) calls
+    # ------------------------------------------------------------------
+    def _collective_levels(self, op: CallOp) -> set:
+        levels = set()
+        for ref in op.tensor_uses():
+            for partition, _ in ref.path:
+                if isinstance(partition, MmaPartition):
+                    levels.add(partition.proc.value)
+        return levels
+
+    def _leads_collective(self, op: CallOp, bound: Dict[str, int]) -> bool:
+        """Only the index-0 member of each collective level executes."""
+        for level in self._collective_levels(op):
+            if bound.get(level, 0) != 0:
+                return False
+        return True
+
+    def _strip_mma(self, ref: TensorRef) -> TensorRef:
+        path = list(ref.path)
+        while path and isinstance(path[-1][0], MmaPartition):
+            path.pop()
+        return TensorRef(ref.root, tuple(path))

@@ -1,0 +1,224 @@
+"""IR operations and blocks (paper Figure 7).
+
+Operations are mutable — compiler passes rewrite preconditions, move
+operations between blocks, and promote event types in place. Each
+asynchronous operation owns its result :class:`Event`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import IRError
+from repro.ir.events import Event, EventType, EventUse
+from repro.machine.processor import ProcessorKind
+from repro.sym import Var
+from repro.tensors.tensor import TensorRef
+
+_op_counter = itertools.count()
+
+
+class Operation:
+    """Base class for IR operations.
+
+    ``proc`` records the processor level on which the operation executes
+    (filled by dependence analysis); warp specialization and codegen
+    consult it.
+    """
+
+    def __init__(
+        self,
+        preconds: Optional[List[EventUse]] = None,
+        proc: Optional[ProcessorKind] = None,
+    ):
+        self.uid = next(_op_counter)
+        self.preconds: List[EventUse] = list(preconds or [])
+        self.result: Optional[Event] = None
+        self.proc = proc
+
+    def define_event(self, type_: EventType = ()) -> Event:
+        event = Event(type_)
+        event.producer = self
+        self.result = event
+        return event
+
+    # -- generic traversal helpers --------------------------------------
+    def tensor_uses(self) -> List[TensorRef]:
+        """Tensor references read or written by this op (shallow)."""
+        return []
+
+    def nested_blocks(self) -> List["Block"]:
+        return []
+
+    def replace_precond_event(self, old: Event, new: Event) -> None:
+        """Substitute ``new`` for ``old`` in this op's preconditions."""
+        self.preconds = [
+            use.with_event(new) if use.event is old else use
+            for use in self.preconds
+        ]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        from repro.ir.printer import format_op
+
+        return format_op(self)
+
+
+class AllocOp(Operation):
+    """Declare a buffer (fresh tensor allocation) in scope.
+
+    Not evented: allocation is a compile-time naming construct. The
+    buffer's placement (memory kind) lives on the :class:`Buffer`.
+    """
+
+    def __init__(self, buffer: "Any"):
+        super().__init__()
+        self.buffer = buffer
+
+
+class CopyOp(Operation):
+    """``ev = copy(src, dst), preconds`` — an asynchronous data movement.
+
+    The compiler's code generator decides the mechanism (TMA, cp.async,
+    register moves) from the source and destination memories.
+    """
+
+    def __init__(
+        self,
+        src: TensorRef,
+        dst: TensorRef,
+        preconds: Optional[List[EventUse]] = None,
+        proc: Optional[ProcessorKind] = None,
+    ):
+        super().__init__(preconds, proc)
+        if src.shape != dst.shape:
+            raise IRError(
+                f"copy shape mismatch: src {src!r} has shape {src.shape}, "
+                f"dst {dst!r} has shape {dst.shape}"
+            )
+        self.src = src
+        self.dst = dst
+        self.define_event()
+
+    def tensor_uses(self) -> List[TensorRef]:
+        return [self.src, self.dst]
+
+
+class CallOp(Operation):
+    """``ev = call(f, args), preconds`` — a leaf-task invocation."""
+
+    def __init__(
+        self,
+        function: str,
+        args: Tuple[Any, ...],
+        reads: Tuple[TensorRef, ...],
+        writes: Tuple[TensorRef, ...],
+        cost_kind: str = "simt",
+        proc: Optional[ProcessorKind] = None,
+        preconds: Optional[List[EventUse]] = None,
+    ):
+        super().__init__(preconds, proc)
+        self.function = function
+        self.args = tuple(args)
+        self.reads = tuple(reads)
+        self.writes = tuple(writes)
+        self.cost_kind = cost_kind
+        self.define_event()
+
+    def tensor_uses(self) -> List[TensorRef]:
+        return [a for a in self.args if isinstance(a, TensorRef)]
+
+
+class Block:
+    """A sequence of operations ending with an optional yielded event."""
+
+    def __init__(
+        self,
+        ops: Optional[List[Operation]] = None,
+        yield_use: Optional[EventUse] = None,
+    ):
+        self.ops: List[Operation] = list(ops or [])
+        self.yield_use = yield_use
+
+    def append(self, op: Operation) -> Operation:
+        self.ops.append(op)
+        return op
+
+    def walk(self) -> Iterator[Operation]:
+        """All operations in this block and nested blocks, pre-order."""
+        for op in self.ops:
+            yield op
+            for block in op.nested_blocks():
+                yield from block.walk()
+
+    def index_of(self, op: Operation) -> int:
+        for i, candidate in enumerate(self.ops):
+            if candidate is op:
+                return i
+        raise IRError(f"operation not in block: {op.uid}")
+
+    def replace_event_uses(self, old: Event, new: Event) -> None:
+        """Substitute event ``new`` for ``old`` everywhere in this block."""
+        for op in self.walk():
+            op.replace_precond_event(old, new)
+        for block in self._all_blocks():
+            if block.yield_use is not None and block.yield_use.event is old:
+                block.yield_use = block.yield_use.with_event(new)
+
+    def _all_blocks(self) -> Iterator["Block"]:
+        yield self
+        for op in self.ops:
+            for block in op.nested_blocks():
+                yield from block._all_blocks()
+
+
+class ForOp(Operation):
+    """A sequential loop; its event is the completion of all iterations."""
+
+    def __init__(
+        self,
+        index: Var,
+        extent: int,
+        body: Optional[Block] = None,
+        preconds: Optional[List[EventUse]] = None,
+    ):
+        super().__init__(preconds)
+        if extent < 1:
+            raise IRError(f"for loop extent must be >= 1, got {extent}")
+        self.index = index
+        self.extent = extent
+        self.body = body or Block()
+        self.define_event()
+
+    def nested_blocks(self) -> List[Block]:
+        return [self.body]
+
+
+class PForOp(Operation):
+    """A parallel loop; its event is an array over the iterations.
+
+    ``proc`` names the processor level the iterations are mapped onto
+    (warpgroup, warp, thread for implicit loops; block for the grid).
+    """
+
+    def __init__(
+        self,
+        index: Var,
+        extent: int,
+        proc: ProcessorKind,
+        body: Optional[Block] = None,
+        preconds: Optional[List[EventUse]] = None,
+    ):
+        super().__init__(preconds)
+        if extent < 1:
+            raise IRError(f"pfor extent must be >= 1, got {extent}")
+        self.index = index
+        self.extent = extent
+        self.proc = proc
+        self.body = body or Block()
+        from repro.ir.events import EventDim
+
+        self.define_event((EventDim(extent, proc),))
+
+    def nested_blocks(self) -> List[Block]:
+        return [self.body]

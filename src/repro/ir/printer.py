@@ -1,0 +1,74 @@
+"""Textual form of the IR, in the style of the paper's Figure 8b."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.ir.ops import AllocOp, Block, CallOp, CopyOp, ForOp, Operation, PForOp
+
+
+def _format_event_decl(op: Operation) -> str:
+    if op.result is None:
+        return ""
+    event = op.result
+    if event.is_unit:
+        return f"{event.name} : () = "
+    dims = ",".join(repr(d) for d in event.type)
+    return f"{event.name} : [{dims}] = "
+
+
+def _format_preconds(op: Operation) -> str:
+    inner = ", ".join(repr(use) for use in op.preconds)
+    return "{" + inner + "}"
+
+
+def format_op(op: Operation, indent: int = 0) -> str:
+    """Format one operation (and nested blocks) as text."""
+    pad = "  " * indent
+    decl = _format_event_decl(op)
+    if isinstance(op, AllocOp):
+        return f"{pad}{op.buffer!r}"
+    if isinstance(op, CopyOp):
+        return (
+            f"{pad}{decl}copy({op.src!r}, {op.dst!r}), "
+            f"{_format_preconds(op)}"
+        )
+    if isinstance(op, CallOp):
+        args = ", ".join(repr(a) for a in op.args)
+        proc = f" @{op.proc.name.lower()}" if op.proc else ""
+        return (
+            f"{pad}{decl}call({op.function}, {args}){proc}, "
+            f"{_format_preconds(op)}"
+        )
+    if isinstance(op, (ForOp, PForOp)):
+        kind = "pfor" if isinstance(op, PForOp) else "for"
+        proc = f" @{op.proc.name.lower()}" if isinstance(op, PForOp) else ""
+        head = (
+            f"{pad}{decl}{kind} {op.index.name} in [0, {op.extent})"
+            f"{proc}, {_format_preconds(op)} do"
+        )
+        lines = [head]
+        lines.extend(format_block(op.body, indent + 1))
+        return "\n".join(lines)
+    return f"{pad}{decl}<unknown op {type(op).__name__}>"
+
+
+def format_block(block: Block, indent: int = 0) -> List[str]:
+    lines = [format_op(op, indent) for op in block.ops]
+    pad = "  " * indent
+    if block.yield_use is not None:
+        lines.append(f"{pad}yield {block.yield_use!r}")
+    return lines
+
+
+def print_function(fn) -> str:
+    """Render a whole :class:`IRFunction` as text."""
+    lines = [f"func {fn.name} (machine {fn.machine.name}):"]
+    for param in fn.params:
+        lines.append(f"  param {param!r}")
+    for buffer in fn.live_buffers():
+        if not buffer.is_argument:
+            lines.append(f"  {buffer!r}")
+    lines.append("  body:")
+    lines.extend(format_block(fn.body, indent=2))
+    return "\n".join(lines)

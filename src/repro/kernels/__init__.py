@@ -1,0 +1,30 @@
+"""Cypress kernel zoo: the programs evaluated in the paper's section 5.
+
+Each module builds a logical description plus a tuned mapping
+specification for one kernel family:
+
+* :mod:`repro.kernels.gemm` — FP16 GEMM (Figure 5, evaluated in 13a)
+* :mod:`repro.kernels.batched_gemm` — Batched-GEMM (Figure 13b)
+* :mod:`repro.kernels.dual_gemm` — Dual-GEMM for GLU layers (Figure 13c)
+* :mod:`repro.kernels.gemm_reduction` — fused GEMM+Reduction (Figure 13d)
+* :mod:`repro.kernels.flash_attention2` / ``flash_attention3`` —
+  forward attention (Figure 14)
+"""
+
+from repro.kernels.common import kernel_registry
+from repro.kernels.gemm import build_gemm
+from repro.kernels.batched_gemm import build_batched_gemm
+from repro.kernels.dual_gemm import build_dual_gemm
+from repro.kernels.gemm_reduction import build_gemm_reduction
+from repro.kernels.flash_attention2 import build_flash_attention2
+from repro.kernels.flash_attention3 import build_flash_attention3
+
+__all__ = [
+    "kernel_registry",
+    "build_gemm",
+    "build_batched_gemm",
+    "build_dual_gemm",
+    "build_gemm_reduction",
+    "build_flash_attention2",
+    "build_flash_attention3",
+]

@@ -1,0 +1,26 @@
+"""Hierarchical machine model (paper section 3.1, Figure 2).
+
+A machine is described by an ordered list of processor levels (HOST down
+to THREAD) and a set of memories, each visible from some contiguous span
+of the processor hierarchy. Concrete descriptions for NVIDIA Hopper
+(H100 SXM5) and Ampere (A100) are provided; the Hopper description is the
+one used throughout the paper's evaluation.
+"""
+
+from repro.machine.processor import ProcessorKind, ProcessorLevel
+from repro.machine.memory import MemoryKind, MemoryLevel
+from repro.machine.machine import MachineModel
+from repro.machine.hopper import hopper_machine, H100_SPECS
+from repro.machine.ampere import ampere_machine, A100_SPECS
+
+__all__ = [
+    "ProcessorKind",
+    "ProcessorLevel",
+    "MemoryKind",
+    "MemoryLevel",
+    "MachineModel",
+    "hopper_machine",
+    "ampere_machine",
+    "H100_SPECS",
+    "A100_SPECS",
+]

@@ -1,0 +1,85 @@
+"""NVIDIA Ampere (A100 SXM4 80GB) machine description.
+
+Used by the Ampere-vs-Hopper ablation benchmark that mirrors the paper's
+Figure 1 contrast. Ampere has no warpgroup level (Tensor Core ops are
+issued per warp), no TMA (data movement uses cp.async), and a smaller
+shared memory.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import MachineModel
+from repro.machine.memory import MemoryKind, MemoryLevel
+from repro.machine.processor import ProcessorKind, ProcessorLevel
+
+A100_SPECS = {
+    "sm_count": 108.0,
+    "clock_ghz": 1.41,
+    "tensor_fp16_tflops": 312.0,
+    "tensor_flops_per_cycle_per_sm": 312.0e12 / (108 * 1.41e9),
+    "hbm_bandwidth_tb_s": 2.039,
+    "l2_bandwidth_tb_s": 7.0,
+    "l2_capacity_mb": 40.0,
+    "simt_flops_per_cycle_per_sm": 128.0,
+    "sfu_ops_per_cycle_per_sm": 32.0,
+    "max_registers_per_thread": 255.0,
+    "registers_per_sm": 65536.0,
+    "max_threads_per_sm": 2048.0,
+    "max_ctas_per_sm": 32.0,
+    "kernel_launch_us": 3.0,
+    "cta_start_cycles": 1000.0,
+    # No TMA on Ampere: schedules must use cp.async.
+    "cp_async_issue_cycles_per_16b": 1.0,
+    "cp_async_latency_cycles": 500.0,
+    "throttle_knee_utilization": 0.75,
+    "throttle_floor_fraction": 0.92,
+}
+
+
+def ampere_machine() -> MachineModel:
+    """Build the A100 machine model (no WARPGROUP level, no TMA)."""
+    ghz = A100_SPECS["clock_ghz"]
+    sm_count = A100_SPECS["sm_count"]
+    hbm_per_sm_bytes_per_cycle = (
+        A100_SPECS["hbm_bandwidth_tb_s"] * 1e12 / (sm_count * ghz * 1e9)
+    )
+    levels = (
+        ProcessorLevel(ProcessorKind.HOST, 1, "CPU host launching kernels"),
+        ProcessorLevel(ProcessorKind.BLOCK, 108, "one CTA per SM"),
+        ProcessorLevel(
+            ProcessorKind.WARPGROUP,
+            4,
+            "logical warp grouping (no hardware meaning pre-Hopper)",
+        ),
+        ProcessorLevel(ProcessorKind.WARP, 4, "warps issue MMA directly"),
+        ProcessorLevel(ProcessorKind.THREAD, 32, "32 threads per warp"),
+    )
+    memories = {
+        MemoryKind.GLOBAL: MemoryLevel(
+            kind=MemoryKind.GLOBAL,
+            capacity_bytes=80 * 1024**3,
+            visible_from=ProcessorKind.HOST,
+            bandwidth_bytes_per_cycle=hbm_per_sm_bytes_per_cycle,
+            latency_cycles=600,
+        ),
+        MemoryKind.SHARED: MemoryLevel(
+            kind=MemoryKind.SHARED,
+            capacity_bytes=164 * 1024,
+            visible_from=ProcessorKind.BLOCK,
+            bandwidth_bytes_per_cycle=128.0,
+            latency_cycles=25,
+        ),
+        MemoryKind.REGISTER: MemoryLevel(
+            kind=MemoryKind.REGISTER,
+            capacity_bytes=255 * 4,
+            visible_from=ProcessorKind.THREAD,
+            bandwidth_bytes_per_cycle=512.0,
+            latency_cycles=1,
+        ),
+    }
+    return MachineModel(
+        name="a100-sxm4",
+        levels=levels,
+        memories=memories,
+        specs=dict(A100_SPECS),
+    )

@@ -1,0 +1,97 @@
+"""NVIDIA Hopper (H100 SXM5 80GB) machine description.
+
+Numbers are taken from the public Hopper whitepaper and match the paper's
+experimental setup (section 5.1): 132 SMs, 989 TFLOP/s dense FP16 Tensor
+Core peak, 3.35 TB/s HBM3, 228 KiB shared memory per SM, a TMA per SM and
+one Tensor Core pipeline per SM accessible by warpgroups.
+"""
+
+from __future__ import annotations
+
+from repro.machine.machine import MachineModel
+from repro.machine.memory import MemoryKind, MemoryLevel
+from repro.machine.processor import ProcessorKind, ProcessorLevel
+
+#: Numeric specifications consumed by the simulator. All "per cycle"
+#: quantities are per SM at the boost clock.
+H100_SPECS = {
+    "sm_count": 132.0,
+    "clock_ghz": 1.98,
+    # Dense FP16 tensor-core peak for the whole device.
+    "tensor_fp16_tflops": 989.0,
+    # Derived: FLOPs per cycle per SM = 989e12 / (132 * 1.98e9).
+    "tensor_flops_per_cycle_per_sm": 989.0e12 / (132 * 1.98e9),
+    "hbm_bandwidth_tb_s": 3.35,
+    "l2_bandwidth_tb_s": 11.0,
+    "l2_capacity_mb": 50.0,
+    # SIMT fp32 FMA throughput per SM (128 fp32 lanes * 2 flops).
+    "simt_flops_per_cycle_per_sm": 256.0,
+    # Special-function (exp/rsqrt) throughput per SM per cycle.
+    "sfu_ops_per_cycle_per_sm": 64.0,
+    "max_registers_per_thread": 255.0,
+    "registers_per_sm": 65536.0,
+    "max_threads_per_sm": 2048.0,
+    "max_ctas_per_sm": 32.0,
+    # Fixed cost to launch a grid (microseconds) and per-CTA start cost
+    # (cycles); used by the wave model, and responsible for the paper's
+    # small-sequence-length gap in Figure 14.
+    "kernel_launch_us": 3.0,
+    "cta_start_cycles": 1200.0,
+    # TMA: one asynchronous copy engine per SM.
+    "tma_issue_cycles": 40.0,
+    "tma_latency_cycles": 700.0,
+    # cp.async (Ampere-style) issue cost per 16B transaction, used when a
+    # schedule does not use the TMA (e.g. the modeled default Triton).
+    "cp_async_issue_cycles_per_16b": 1.0,
+    "cp_async_latency_cycles": 600.0,
+    # Deterministic power/thermal throttle: sustained tensor-pipe
+    # utilization above the knee scales the clock down linearly to the
+    # floor. Mirrors the throttling the paper normalizes for in 5.1.
+    "throttle_knee_utilization": 0.65,
+    "throttle_floor_fraction": 0.88,
+}
+
+
+def hopper_machine() -> MachineModel:
+    """Build the H100 machine model of the paper's Figure 2."""
+    ghz = H100_SPECS["clock_ghz"]
+    sm_count = H100_SPECS["sm_count"]
+    hbm_per_sm_bytes_per_cycle = (
+        H100_SPECS["hbm_bandwidth_tb_s"] * 1e12 / (sm_count * ghz * 1e9)
+    )
+    levels = (
+        ProcessorLevel(ProcessorKind.HOST, 1, "CPU host launching kernels"),
+        ProcessorLevel(ProcessorKind.BLOCK, 132, "one CTA per SM"),
+        ProcessorLevel(ProcessorKind.WARPGROUP, 4, "4 warpgroups per CTA max"),
+        ProcessorLevel(ProcessorKind.WARP, 4, "4 warps per warpgroup"),
+        ProcessorLevel(ProcessorKind.THREAD, 32, "32 threads per warp"),
+    )
+    memories = {
+        MemoryKind.GLOBAL: MemoryLevel(
+            kind=MemoryKind.GLOBAL,
+            capacity_bytes=80 * 1024**3,
+            visible_from=ProcessorKind.HOST,
+            bandwidth_bytes_per_cycle=hbm_per_sm_bytes_per_cycle,
+            latency_cycles=700,
+        ),
+        MemoryKind.SHARED: MemoryLevel(
+            kind=MemoryKind.SHARED,
+            capacity_bytes=228 * 1024,
+            visible_from=ProcessorKind.BLOCK,
+            bandwidth_bytes_per_cycle=128.0,
+            latency_cycles=30,
+        ),
+        MemoryKind.REGISTER: MemoryLevel(
+            kind=MemoryKind.REGISTER,
+            capacity_bytes=255 * 4,
+            visible_from=ProcessorKind.THREAD,
+            bandwidth_bytes_per_cycle=512.0,
+            latency_cycles=1,
+        ),
+    }
+    return MachineModel(
+        name="h100-sxm5",
+        levels=levels,
+        memories=memories,
+        specs=dict(H100_SPECS),
+    )

@@ -1,0 +1,188 @@
+"""The MachineModel: processor hierarchy plus memories."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.errors import MachineError
+from repro.machine.memory import MemoryKind, MemoryLevel
+from repro.machine.processor import (
+    PROCESSOR_ORDER,
+    ProcessorKind,
+    ProcessorLevel,
+    depth_of,
+)
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """A hierarchical description of a target machine (paper Figure 2).
+
+    Attributes:
+        name: identifier, e.g. ``"h100-sxm5"``.
+        levels: processor levels ordered outermost-first; must start with
+            HOST and respect the global processor order (levels may be
+            skipped, e.g. a machine without warpgroups).
+        memories: the concrete memories, keyed by kind.
+        specs: free-form numeric parameters consumed by the simulator
+            (clock rate, SM count, peak tensor TFLOPs, ...).
+    """
+
+    name: str
+    levels: Tuple[ProcessorLevel, ...]
+    memories: Dict[MemoryKind, MemoryLevel] = field(default_factory=dict)
+    specs: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if not self.levels:
+            raise MachineError("a machine needs at least one processor level")
+        if self.levels[0].kind is not ProcessorKind.HOST:
+            raise MachineError("the outermost processor level must be HOST")
+        depths = [depth_of(level.kind) for level in self.levels]
+        if depths != sorted(depths) or len(set(depths)) != len(depths):
+            raise MachineError(
+                "processor levels must appear in hierarchy order without "
+                f"duplicates, got {[l.kind.name for l in self.levels]}"
+            )
+        for kind, mem in self.memories.items():
+            if kind is not mem.kind:
+                raise MachineError(
+                    f"memory registered under {kind} but describes {mem.kind}"
+                )
+            if not self.has_level(mem.visible_from):
+                raise MachineError(
+                    f"memory {kind.name} visible from missing level "
+                    f"{mem.visible_from.name}"
+                )
+
+    # ------------------------------------------------------------------
+    # Processor hierarchy queries
+    # ------------------------------------------------------------------
+    def has_level(self, kind: ProcessorKind) -> bool:
+        """True when this machine exposes the given processor level."""
+        return any(level.kind is kind for level in self.levels)
+
+    def level(self, kind: ProcessorKind) -> ProcessorLevel:
+        """The :class:`ProcessorLevel` for ``kind``."""
+        for level in self.levels:
+            if level.kind is kind:
+                return level
+        raise MachineError(f"machine {self.name} has no {kind.name} level")
+
+    def child_of(self, kind: ProcessorKind) -> Optional[ProcessorKind]:
+        """The next level below ``kind`` on this machine, if any."""
+        kinds = [level.kind for level in self.levels]
+        idx = kinds.index(kind)
+        if idx + 1 < len(kinds):
+            return kinds[idx + 1]
+        return None
+
+    def parent_of(self, kind: ProcessorKind) -> Optional[ProcessorKind]:
+        """The next level above ``kind`` on this machine, if any."""
+        kinds = [level.kind for level in self.levels]
+        idx = kinds.index(kind)
+        if idx > 0:
+            return kinds[idx - 1]
+        return None
+
+    def levels_between(
+        self, outer: ProcessorKind, inner: ProcessorKind
+    ) -> Sequence[ProcessorKind]:
+        """Levels strictly between ``outer`` and ``inner`` (exclusive)."""
+        kinds = [level.kind for level in self.levels]
+        i, j = kinds.index(outer), kinds.index(inner)
+        if i > j:
+            raise MachineError(
+                f"{outer.name} is not above {inner.name} on {self.name}"
+            )
+        return kinds[i + 1 : j]
+
+    def threads_per(self, kind: ProcessorKind) -> int:
+        """Number of hardware threads contained in one processor of ``kind``.
+
+        HOST is treated as containing one thread block's worth of threads
+        times the block count, but callers normally ask about BLOCK and
+        below (e.g. 128 threads per warpgroup on Hopper).
+        """
+        kinds = [level.kind for level in self.levels]
+        idx = kinds.index(kind)
+        total = 1
+        for level in self.levels[idx + 1 :]:
+            total *= level.count
+        return total
+
+    # ------------------------------------------------------------------
+    # Memory queries
+    # ------------------------------------------------------------------
+    def memory(self, kind: MemoryKind) -> MemoryLevel:
+        """The concrete memory realizing ``kind``."""
+        if kind is MemoryKind.NONE:
+            raise MachineError("NONE is virtual; it has no MemoryLevel")
+        if kind not in self.memories:
+            raise MachineError(
+                f"machine {self.name} has no {kind.name} memory"
+            )
+        return self.memories[kind]
+
+    def is_visible(self, mem: MemoryKind, proc: ProcessorKind) -> bool:
+        """Can processors of kind ``proc`` address memory ``mem``?
+
+        NONE is visible everywhere by definition: mapping a tensor to NONE
+        never requires a physical access.
+        """
+        if mem is MemoryKind.NONE:
+            return True
+        level = self.memory(mem)
+        return depth_of(proc) >= depth_of(level.visible_from)
+
+    def validate_placement(self, mem: MemoryKind, proc: ProcessorKind) -> None:
+        """Raise :class:`MachineError` unless ``proc`` can address ``mem``."""
+        if not self.is_visible(mem, proc):
+            raise MachineError(
+                f"memory {mem.name} is not visible from processor "
+                f"{proc.name} on machine {self.name}"
+            )
+
+    def spec(self, key: str) -> float:
+        """A numeric spec, raising a helpful error when missing."""
+        if key not in self.specs:
+            raise MachineError(
+                f"machine {self.name} does not define spec {key!r}; "
+                f"known specs: {sorted(self.specs)}"
+            )
+        return self.specs[key]
+
+    def describe(self) -> str:
+        """A human-readable summary, used by examples and docs."""
+        lines = [f"machine {self.name}"]
+        for level in self.levels:
+            lines.append(
+                f"  proc {level.kind.name.lower():10s} x{level.count:<4d} "
+                f"{level.description}"
+            )
+        for kind in (MemoryKind.GLOBAL, MemoryKind.SHARED, MemoryKind.REGISTER):
+            if kind in self.memories:
+                mem = self.memories[kind]
+                lines.append(
+                    f"  mem  {kind.name.lower():10s} "
+                    f"{mem.capacity_bytes} B, visible from "
+                    f"{mem.visible_from.name.lower()}"
+                )
+        return "\n".join(lines)
+
+
+def default_hierarchy_counts() -> Dict[ProcessorKind, int]:
+    """CUDA-mandated child counts: 4 warps/warpgroup, 32 threads/warp."""
+    return {
+        ProcessorKind.HOST: 1,
+        ProcessorKind.BLOCK: 1,
+        ProcessorKind.WARPGROUP: 4,
+        ProcessorKind.WARP: 32,
+        ProcessorKind.THREAD: 1,
+    }
+
+
+def full_processor_order() -> Tuple[ProcessorKind, ...]:
+    """The complete abstract processor order (convenience re-export)."""
+    return PROCESSOR_ORDER

@@ -1,0 +1,60 @@
+"""Memory kinds and per-machine memory levels."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.machine.processor import ProcessorKind
+
+
+class MemoryKind(enum.Enum):
+    """Memories of the paper's abstract syntax (Figure 3).
+
+    ``NONE`` is the virtual memory used in mapping specifications to
+    require that a tensor is never materialized at a level; the compiler
+    reports an error if a NONE-mapped tensor would have to be allocated
+    (paper section 3.3).
+    """
+
+    NONE = "none"
+    GLOBAL = "global"
+    SHARED = "shared"
+    REGISTER = "register"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"MemoryKind.{self.name}"
+
+
+@dataclass(frozen=True)
+class MemoryLevel:
+    """A concrete memory of a machine description.
+
+    Attributes:
+        kind: which abstract memory this realizes.
+        capacity_bytes: capacity per owning processor (per SM for shared
+            memory, per thread for registers, whole device for global).
+        visible_from: the outermost processor kind that can address this
+            memory; every deeper kind can also address it. This is the
+            relaxation over Sequoia's strictly hierarchical model that
+            the paper calls out in section 6.
+        bandwidth_bytes_per_cycle: sustained bandwidth per owning
+            processor, used by the simulator's copy timing.
+        latency_cycles: load-to-use latency for a single access.
+    """
+
+    kind: MemoryKind
+    capacity_bytes: int
+    visible_from: ProcessorKind
+    bandwidth_bytes_per_cycle: float
+    latency_cycles: int
+
+    def __post_init__(self) -> None:
+        if self.kind is MemoryKind.NONE:
+            raise ValueError("NONE is virtual and has no MemoryLevel")
+        if self.capacity_bytes <= 0:
+            raise ValueError("memory capacity must be positive")
+        if self.bandwidth_bytes_per_cycle <= 0:
+            raise ValueError("memory bandwidth must be positive")
+        if self.latency_cycles < 0:
+            raise ValueError("memory latency must be non-negative")

@@ -1,0 +1,55 @@
+"""First-class tensors, layouts, and partitioning operators.
+
+This package implements the data side of the Cypress model (paper
+section 3.2): dtypes, a CuTe-style layout algebra with XOR swizzles,
+logical tensors, and the two partitioning operators ``blocks`` and
+``mma`` (including the Figure 4 WGMMA output-fragment layout).
+"""
+
+from repro.tensors.dtype import DType, f16, f32, bf16, f64, i32
+from repro.tensors.layout import Layout, coalesce, complement, composition
+from repro.tensors.swizzle import Swizzle, bank_conflict_ways
+from repro.tensors.tensor import LogicalTensor, TensorRef
+from repro.tensors.partition import (
+    BlocksPartition,
+    Partition,
+    SqueezePartition,
+    partition_by_blocks,
+    squeeze,
+)
+from repro.tensors.mma_partition import (
+    MmaAtom,
+    MmaPartition,
+    WGMMA_64x64x16,
+    WGMMA_64x128x16,
+    WGMMA_64x256x16,
+    partition_by_mma,
+)
+
+__all__ = [
+    "DType",
+    "f16",
+    "f32",
+    "bf16",
+    "f64",
+    "i32",
+    "Layout",
+    "coalesce",
+    "complement",
+    "composition",
+    "Swizzle",
+    "bank_conflict_ways",
+    "LogicalTensor",
+    "TensorRef",
+    "Partition",
+    "BlocksPartition",
+    "SqueezePartition",
+    "partition_by_blocks",
+    "squeeze",
+    "MmaAtom",
+    "MmaPartition",
+    "WGMMA_64x64x16",
+    "WGMMA_64x128x16",
+    "WGMMA_64x256x16",
+    "partition_by_mma",
+]

@@ -1,0 +1,259 @@
+"""A CuTe-style layout algebra.
+
+A :class:`Layout` maps logical coordinates to linear offsets through a
+(shape, stride) pair, exactly as in CuTe [NVIDIA 2022], which the paper
+uses to model data layouts and to dispatch to Tensor Core instruction
+variants (section 6, "Hopper Programming Libraries"). We implement the
+flat (non-nested) fragment of the algebra: enough to express row/column
+major tiles, blocked tiles, and the strided fragments of WGMMA operands,
+plus the classic ``coalesce`` / ``complement`` / ``composition``
+operators with their algebraic laws (tested property-based).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterator, Sequence, Tuple
+
+from repro.errors import LayoutError
+
+
+@dataclass(frozen=True)
+class Layout:
+    """A linear layout: ``coord -> sum_i coord[i] * stride[i]``.
+
+    Shapes and strides have equal rank. Modes are ordered
+    fastest-varying-first (CuTe convention, column-major by default).
+    """
+
+    shape: Tuple[int, ...]
+    stride: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if len(self.shape) != len(self.stride):
+            raise LayoutError(
+                f"shape {self.shape} and stride {self.stride} differ in rank"
+            )
+        if not self.shape:
+            raise LayoutError("layouts must have rank >= 1")
+        for extent in self.shape:
+            if extent < 1:
+                raise LayoutError(f"non-positive extent in shape {self.shape}")
+        for s in self.stride:
+            if s < 0:
+                raise LayoutError(f"negative stride in {self.stride}")
+
+    # ------------------------------------------------------------------
+    # Constructors
+    # ------------------------------------------------------------------
+    @staticmethod
+    def column_major(shape: Sequence[int]) -> "Layout":
+        """The compact column-major layout for ``shape``."""
+        strides = []
+        running = 1
+        for extent in shape:
+            strides.append(running)
+            running *= extent
+        return Layout(tuple(shape), tuple(strides))
+
+    @staticmethod
+    def row_major(shape: Sequence[int]) -> "Layout":
+        """The compact row-major layout for ``shape``."""
+        strides = [0] * len(shape)
+        running = 1
+        for i in reversed(range(len(shape))):
+            strides[i] = running
+            running *= shape[i]
+        return Layout(tuple(shape), tuple(strides))
+
+    # ------------------------------------------------------------------
+    # Basic queries
+    # ------------------------------------------------------------------
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        """Number of logical coordinates (product of extents)."""
+        out = 1
+        for extent in self.shape:
+            out *= extent
+        return out
+
+    @property
+    def cosize(self) -> int:
+        """One past the largest offset produced by this layout."""
+        out = 1
+        for extent, stride in zip(self.shape, self.stride):
+            out += (extent - 1) * stride
+        return out
+
+    def __call__(self, *coord: int) -> int:
+        """Map a coordinate (or a single linear index) to an offset."""
+        if len(coord) == 1 and self.rank != 1:
+            coord = self._delinearize(coord[0])
+        if len(coord) != self.rank:
+            raise LayoutError(
+                f"coordinate {coord} does not match rank-{self.rank} layout"
+            )
+        offset = 0
+        for c, extent, stride in zip(coord, self.shape, self.stride):
+            if not 0 <= c < extent:
+                raise LayoutError(
+                    f"coordinate {coord} out of bounds for shape {self.shape}"
+                )
+            offset += c * stride
+        return offset
+
+    def _delinearize(self, index: int) -> Tuple[int, ...]:
+        if not 0 <= index < self.size:
+            raise LayoutError(
+                f"linear index {index} out of range for size {self.size}"
+            )
+        coord = []
+        for extent in self.shape:
+            coord.append(index % extent)
+            index //= extent
+        return tuple(coord)
+
+    def offsets(self) -> Iterator[int]:
+        """All offsets in linear-index order (fastest mode first)."""
+        for idx in range(self.size):
+            yield self(*self._delinearize(idx))
+
+    def is_injective(self) -> bool:
+        """True when distinct coordinates map to distinct offsets."""
+        seen = set()
+        for off in self.offsets():
+            if off in seen:
+                return False
+            seen.add(off)
+        return True
+
+    def is_compact(self) -> bool:
+        """True when offsets are exactly ``0..size-1`` (a bijection)."""
+        return self.is_injective() and self.cosize == self.size
+
+    def __repr__(self) -> str:
+        shape = ",".join(map(str, self.shape))
+        stride = ",".join(map(str, self.stride))
+        return f"({shape}):({stride})"
+
+
+# ----------------------------------------------------------------------
+# Algebraic operators
+# ----------------------------------------------------------------------
+def coalesce(layout: Layout) -> Layout:
+    """Fuse adjacent modes when their (extent, stride) pairs compose.
+
+    Mode i can fuse into mode i+1 when
+    ``stride[i+1] == shape[i] * stride[i]``; extents of 1 are dropped.
+    ``coalesce`` preserves the offset function.
+    """
+    shape: list = []
+    stride: list = []
+    for extent, s in zip(layout.shape, layout.stride):
+        if extent == 1:
+            continue
+        if shape and stride[-1] * shape[-1] == s:
+            shape[-1] *= extent
+        else:
+            shape.append(extent)
+            stride.append(s)
+    if not shape:
+        return Layout((1,), (0,))
+    return Layout(tuple(shape), tuple(stride))
+
+
+def composition(outer: Layout, inner: Layout) -> Layout:
+    """Compose two layouts: ``(outer o inner)(c) = outer(inner(c))``.
+
+    ``inner`` picks coordinates within ``outer``'s domain; the result has
+    ``inner``'s shape. Requires ``inner.cosize <= outer.size`` so every
+    picked index is valid. Implemented by enumerating the inner offsets
+    and refitting (exact for the strided layouts used here).
+    """
+    if inner.cosize > outer.size:
+        raise LayoutError(
+            f"cannot compose: inner cosize {inner.cosize} exceeds outer "
+            f"size {outer.size}"
+        )
+    # Compose mode-by-mode: each inner mode (extent e, stride s) walks the
+    # outer layout's linear domain with step s.
+    shapes: list = []
+    strides: list = []
+    for extent, step in zip(inner.shape, inner.stride):
+        if extent == 1:
+            shapes.append(1)
+            strides.append(0)
+            continue
+        offsets = [outer(i * step) for i in range(extent)]
+        deltas = {offsets[i + 1] - offsets[i] for i in range(extent - 1)}
+        if len(deltas) != 1:
+            raise LayoutError(
+                f"composition of {outer} with mode ({extent}:{step}) is not "
+                "affine; split the inner mode to align with outer boundaries"
+            )
+        shapes.append(extent)
+        strides.append(deltas.pop() if deltas else 0)
+    return Layout(tuple(shapes), tuple(strides))
+
+
+def complement(layout: Layout, size: int) -> Layout:
+    """The layout covering the offsets ``layout`` misses inside ``size``.
+
+    For an injective ``layout``, concatenating it with its complement
+    yields a compact layout of the given ``size``. Used to derive the
+    "rest" modes when tiling (CuTe's ``complement``).
+    """
+    if not layout.is_injective():
+        raise LayoutError("complement requires an injective layout")
+    if layout.cosize > size:
+        raise LayoutError(
+            f"layout cosize {layout.cosize} exceeds complement size {size}"
+        )
+    # Sort modes by stride, then walk the gaps.
+    modes = sorted(
+        (s, e) for e, s in zip(layout.shape, layout.stride) if e > 1
+    )
+    shape: list = []
+    stride: list = []
+    current = 1
+    for s, e in modes:
+        if s % current != 0:
+            raise LayoutError(
+                f"cannot complement non-nesting layout {layout}"
+            )
+        gap = s // current
+        if gap > 1:
+            shape.append(gap)
+            stride.append(current)
+        current = s * e
+    if size % current != 0:
+        raise LayoutError(
+            f"complement size {size} does not divide layout span {current}"
+        )
+    tail = size // current
+    if tail > 1 or not shape:
+        shape.append(max(tail, 1))
+        stride.append(current)
+    return Layout(tuple(shape), tuple(stride))
+
+
+def concat(*layouts: Layout) -> Layout:
+    """Concatenate layouts mode-wise (CuTe's ``make_layout(a, b)``)."""
+    shape = tuple(itertools.chain(*(l.shape for l in layouts)))
+    stride = tuple(itertools.chain(*(l.stride for l in layouts)))
+    return Layout(shape, stride)
+
+
+def logical_divide(layout: Layout, tiler: Layout) -> Layout:
+    """Split ``layout`` into (tile, rest) modes (CuTe's logical divide).
+
+    The result's leading modes iterate within one tile; trailing modes
+    iterate across tiles.
+    """
+    rest = complement(tiler, layout.size)
+    return composition(layout, concat(tiler, rest))

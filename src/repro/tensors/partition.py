@@ -1,0 +1,212 @@
+"""Partitioning operators over tensors.
+
+Partitions decompose a tensor into pieces, each of which is again a
+tensor with a compacted origin-based coordinate system (paper section
+3.2). This module defines the abstract :class:`Partition` protocol and
+the ``blocks`` (tiling) operator; the architecture-mandated ``mma``
+operator lives in :mod:`repro.tensors.mma_partition`.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Iterator, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import PartitionError
+from repro.sym import Const, Expr, to_expr
+from repro.tensors.tensor import LogicalTensor, TensorRef
+
+IntoIndex = Union[int, Expr]
+
+
+class Partition:
+    """Abstract base for partitioning operators.
+
+    A partition knows its source reference, how many pieces it has along
+    each partition dimension (``grid``), the shape of a piece, and how to
+    map piece-local coordinates back into source coordinates.
+    """
+
+    kind: str = "abstract"
+    #: True when distinct pieces never share elements (writes through a
+    #: disjoint partition from parallel tasks are race-free).
+    disjoint: bool = True
+
+    def __init__(self, source: TensorRef):
+        self.source = source
+
+    @property
+    def grid(self) -> Tuple[int, ...]:
+        raise NotImplementedError
+
+    def piece_shape(self, index: Sequence[IntoIndex]) -> Tuple[int, ...]:
+        """Shape of the piece at ``index`` (which may be symbolic)."""
+        raise NotImplementedError
+
+    def map_coords(
+        self, coords: np.ndarray, index: Tuple[int, ...]
+    ) -> np.ndarray:
+        """Map piece-local coordinates to source-ref coordinates.
+
+        ``coords`` has shape ``(..., piece_rank)``; the result has shape
+        ``(..., source_rank)``.
+        """
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Indexing
+    # ------------------------------------------------------------------
+    def __getitem__(self, index) -> TensorRef:
+        if not isinstance(index, tuple):
+            index = (index,)
+        if len(index) != len(self.grid):
+            raise PartitionError(
+                f"{self.kind} partition with grid {self.grid} indexed with "
+                f"{len(index)} indices"
+            )
+        exprs = tuple(to_expr(i) for i in index)
+        for expr, extent in zip(exprs, self.grid):
+            if isinstance(expr, Const) and not 0 <= expr.value < extent:
+                raise PartitionError(
+                    f"index {expr.value} out of range for partition grid "
+                    f"{self.grid}"
+                )
+        return TensorRef(
+            self.source.root, self.source.path + ((self, exprs),)
+        )
+
+    def pieces(self) -> Iterator[TensorRef]:
+        """All pieces, in row-major grid order (concrete indices)."""
+        for index in itertools.product(*(range(n) for n in self.grid)):
+            yield self[index]
+
+    @property
+    def num_pieces(self) -> int:
+        out = 1
+        for extent in self.grid:
+            out *= extent
+        return out
+
+    def __repr__(self) -> str:
+        grid = "x".join(map(str, self.grid))
+        return f"{self.kind}({self.source!r}, grid={grid})"
+
+
+class BlocksPartition(Partition):
+    """The ``blocks`` operator: tile a tensor into fixed-size blocks.
+
+    Blocks at the upper edges may be ragged when the extents do not
+    divide evenly; ragged pieces can only be indexed concretely because a
+    symbolically indexed piece must have a uniform static shape.
+    """
+
+    kind = "blocks"
+    disjoint = True
+
+    def __init__(self, source: TensorRef, block_shape: Sequence[int]):
+        super().__init__(source)
+        if len(block_shape) != source.rank:
+            raise PartitionError(
+                f"block shape {tuple(block_shape)} does not match rank "
+                f"{source.rank} of {source!r}"
+            )
+        for extent in block_shape:
+            if not isinstance(extent, int) or extent < 1:
+                raise PartitionError(
+                    f"illegal block shape {tuple(block_shape)}"
+                )
+        self.block_shape = tuple(block_shape)
+
+    @property
+    def grid(self) -> Tuple[int, ...]:
+        return tuple(
+            -(-extent // block)
+            for extent, block in zip(self.source.shape, self.block_shape)
+        )
+
+    def _is_ragged(self) -> bool:
+        return any(
+            extent % block != 0
+            for extent, block in zip(self.source.shape, self.block_shape)
+        )
+
+    def piece_shape(self, index: Sequence[IntoIndex]) -> Tuple[int, ...]:
+        exprs = [to_expr(i) for i in index]
+        shape = []
+        for expr, extent, block in zip(
+            exprs, self.source.shape, self.block_shape
+        ):
+            if isinstance(expr, Const):
+                start = expr.value * block
+                shape.append(min(block, extent - start))
+            else:
+                if extent % block != 0:
+                    raise PartitionError(
+                        f"ragged blocks partition (extent {extent}, block "
+                        f"{block}) cannot be indexed symbolically"
+                    )
+                shape.append(block)
+        return tuple(shape)
+
+    def map_coords(
+        self, coords: np.ndarray, index: Tuple[int, ...]
+    ) -> np.ndarray:
+        offsets = np.array(
+            [i * b for i, b in zip(index, self.block_shape)], dtype=coords.dtype
+        )
+        return coords + offsets
+
+
+def partition_by_blocks(
+    tensor: Union[LogicalTensor, TensorRef], block_shape: Sequence[int]
+) -> BlocksPartition:
+    """The ``partition_by_blocks`` of the paper's Figure 5a."""
+    source = tensor.ref() if isinstance(tensor, LogicalTensor) else tensor
+    return BlocksPartition(source, block_shape)
+
+
+class SqueezePartition(Partition):
+    """A single-piece partition dropping the source's unit dimensions.
+
+    Lets rank-3 batched tensors feed rank-2 task trees: a ``blocks``
+    piece of shape ``(1, m, n)`` squeezes to ``(m, n)``.
+    """
+
+    kind = "squeeze"
+    disjoint = True
+
+    def __init__(self, source: TensorRef):
+        super().__init__(source)
+        if all(extent != 1 for extent in source.shape):
+            raise PartitionError(
+                f"{source!r} has no unit dimensions to squeeze"
+            )
+        if all(extent == 1 for extent in source.shape):
+            raise PartitionError("cannot squeeze away every dimension")
+        self.kept = tuple(
+            axis for axis, extent in enumerate(source.shape) if extent != 1
+        )
+
+    @property
+    def grid(self) -> Tuple[int, ...]:
+        return (1,)
+
+    def piece_shape(self, index: Sequence[IntoIndex]) -> Tuple[int, ...]:
+        return tuple(self.source.shape[axis] for axis in self.kept)
+
+    def map_coords(
+        self, coords: np.ndarray, index: Tuple[int, ...]
+    ) -> np.ndarray:
+        out_shape = coords.shape[:-1] + (self.source.rank,)
+        out = np.zeros(out_shape, dtype=coords.dtype)
+        for piece_axis, source_axis in enumerate(self.kept):
+            out[..., source_axis] = coords[..., piece_axis]
+        return out
+
+
+def squeeze(tensor: Union[LogicalTensor, TensorRef]) -> TensorRef:
+    """A rank-reduced view dropping unit dimensions."""
+    source = tensor.ref() if isinstance(tensor, LogicalTensor) else tensor
+    return SqueezePartition(source)[0]

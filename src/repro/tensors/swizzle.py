@@ -1,0 +1,126 @@
+"""XOR swizzles and shared-memory bank-conflict accounting.
+
+Hopper's shared memory has 32 four-byte banks; when the threads of a warp
+access addresses that collide modulo the bank count, the accesses
+serialize. CUTLASS avoids this by XOR-swizzling the shared-memory layout
+of operand tiles. The mapping specification in Cypress can control data
+layouts to mitigate bank conflicts (paper section 3.3), and the simulator
+uses :func:`bank_conflict_ways` to time shared-memory traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Sequence
+
+SMEM_BANKS = 32
+BANK_BYTES = 4
+
+
+@dataclass(frozen=True)
+class Swizzle:
+    """A CuTe-style ``Swizzle<B, M, S>`` applied to linear offsets.
+
+    The transform XORs ``B`` bits of the offset, taken starting at bit
+    ``M + S``, into the bits starting at ``M``:
+
+        offset ^ (((offset >> (M + S)) & (2^B - 1)) << M)
+
+    ``B = 0`` is the identity. The transform is an involution, hence a
+    bijection on any aligned power-of-two region.
+    """
+
+    bits: int
+    base: int
+    shift: int
+
+    def __post_init__(self) -> None:
+        if self.bits < 0 or self.base < 0 or self.shift < 0:
+            raise ValueError("swizzle parameters must be non-negative")
+
+    def __call__(self, offset: int) -> int:
+        if self.bits == 0:
+            return offset
+        mask = (1 << self.bits) - 1
+        moved = (offset >> (self.base + self.shift)) & mask
+        return offset ^ (moved << self.base)
+
+    def is_identity(self) -> bool:
+        return self.bits == 0
+
+    def __repr__(self) -> str:
+        return f"Swizzle<{self.bits},{self.base},{self.shift}>"
+
+
+#: The identity swizzle.
+IDENTITY = Swizzle(0, 0, 0)
+
+#: Swizzles used by CUTLASS for 128B shared-memory tile atoms, keyed by
+#: the atom's contiguous byte width.
+SWIZZLE_128B = Swizzle(3, 4, 3)
+SWIZZLE_64B = Swizzle(2, 4, 3)
+SWIZZLE_32B = Swizzle(1, 4, 3)
+
+
+def bank_of(byte_offset: int) -> int:
+    """Which of the 32 shared-memory banks a byte offset falls in."""
+    return (byte_offset // BANK_BYTES) % SMEM_BANKS
+
+
+def bank_conflict_ways(
+    byte_offsets: Sequence[int],
+    swizzle: Swizzle = IDENTITY,
+) -> int:
+    """The serialization factor for one warp-wide shared-memory access.
+
+    Given the byte addresses accessed by the 32 lanes of a warp (after
+    applying ``swizzle``), returns the maximum number of distinct
+    addresses mapping to the same bank — 1 means conflict-free, N means
+    the access replays N times.
+    """
+    per_bank: dict = {}
+    for offset in byte_offsets:
+        address = swizzle(offset)
+        bank = bank_of(address)
+        per_bank.setdefault(bank, set()).add(address)
+    if not per_bank:
+        return 1
+    return max(len(addresses) for addresses in per_bank.values())
+
+
+def column_access_offsets(
+    rows: int, row_stride_bytes: int, itemsize: int, lanes: int = 32
+) -> list:
+    """Byte offsets for ``lanes`` threads reading down one column.
+
+    This is the canonical conflict-heavy pattern: without swizzling, a
+    row stride that is a multiple of 128 bytes puts every lane in the
+    same bank.
+    """
+    return [
+        (lane % rows) * row_stride_bytes for lane in range(lanes)
+    ]
+
+
+def choose_swizzle(tile_row_bytes: int) -> Swizzle:
+    """Pick the CUTLASS swizzle atom for a tile's contiguous row width.
+
+    Mirrors CUTLASS's selection: 128-byte rows take the 128B swizzle and
+    narrower rows take proportionally smaller ones; rows below 32 bytes
+    are left unswizzled (the TMA requires at least 32B alignment).
+    """
+    if tile_row_bytes % 128 == 0:
+        return SWIZZLE_128B
+    if tile_row_bytes % 64 == 0:
+        return SWIZZLE_64B
+    if tile_row_bytes % 32 == 0:
+        return SWIZZLE_32B
+    return IDENTITY
+
+
+def conflict_free(
+    access: Callable[[int], int], lanes: int = 32, swizzle: Swizzle = IDENTITY
+) -> bool:
+    """Convenience predicate: is an access pattern free of conflicts?"""
+    offsets = [access(lane) for lane in range(lanes)]
+    return bank_conflict_ways(offsets, swizzle) == 1

@@ -1,0 +1,241 @@
+"""Logical tensors and references to their sub-tensors.
+
+A :class:`LogicalTensor` is a named multi-dimensional array with no
+physical placement — placement comes from the mapping specification. A
+:class:`TensorRef` denotes either a whole tensor or a sub-tensor reached
+through a chain of partition indexings; sub-tensors get a compacted,
+origin-based coordinate system (paper section 3.2). References know how
+to select their elements out of a numpy realization of the root tensor,
+which powers both the functional executor and exact aliasing checks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.errors import TensorError
+from repro.sym import Expr, evaluate, to_expr, variables
+from repro.tensors.dtype import DType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.tensors.partition import Partition
+
+_tensor_counter = itertools.count()
+
+
+class LogicalTensor:
+    """A first-class tensor of the logical description.
+
+    Attributes:
+        name: human-readable name (argument name or ``make_tensor`` site).
+        shape: concrete extents; Cypress compiles statically, so shapes
+            are known integers at compile time.
+        dtype: element type.
+        uid: unique id distinguishing tensors with equal names.
+    """
+
+    def __init__(self, name: str, shape: Sequence[int], dtype: DType):
+        if not shape:
+            raise TensorError("tensors must have rank >= 1")
+        for extent in shape:
+            if not isinstance(extent, int) or extent < 1:
+                raise TensorError(
+                    f"tensor {name!r} has illegal shape {tuple(shape)}"
+                )
+        self.name = name
+        self.shape: Tuple[int, ...] = tuple(shape)
+        self.dtype = dtype
+        self.uid = next(_tensor_counter)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for extent in self.shape:
+            out *= extent
+        return out
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    def ref(self) -> "TensorRef":
+        """A reference to the whole tensor."""
+        return TensorRef(self, path=())
+
+    def __repr__(self) -> str:
+        dims = "x".join(map(str, self.shape))
+        return f"{self.name}#{self.uid}[{dims}:{self.dtype}]"
+
+    def __hash__(self) -> int:
+        return hash(self.uid)
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, LogicalTensor) and other.uid == self.uid
+
+
+class TensorRef:
+    """A (sub-)tensor reference: a root tensor plus partition indexings.
+
+    ``path`` is a tuple of ``(partition, index)`` pairs, outermost first;
+    each ``index`` is a tuple of symbolic expressions selecting one piece
+    of that partition. An empty path denotes the whole root tensor.
+    """
+
+    def __init__(
+        self,
+        root: LogicalTensor,
+        path: Tuple[Tuple["Partition", Tuple[Expr, ...]], ...] = (),
+    ):
+        self.root = root
+        self.path = path
+
+    # ------------------------------------------------------------------
+    # Shape / metadata
+    # ------------------------------------------------------------------
+    @property
+    def dtype(self) -> DType:
+        return self.root.dtype
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        if not self.path:
+            return self.root.shape
+        partition, index = self.path[-1]
+        return partition.piece_shape(index)
+
+    @property
+    def rank(self) -> int:
+        return len(self.shape)
+
+    @property
+    def size(self) -> int:
+        out = 1
+        for extent in self.shape:
+            out *= extent
+        return out
+
+    @property
+    def size_bytes(self) -> int:
+        return self.size * self.dtype.itemsize
+
+    @property
+    def is_whole(self) -> bool:
+        return not self.path
+
+    def free_variables(self) -> set:
+        """Symbolic variables appearing in any index along the path."""
+        out: set = set()
+        for _, index in self.path:
+            for expr in index:
+                out |= variables(expr)
+        return out
+
+    def is_concrete(self) -> bool:
+        return not self.free_variables()
+
+    # ------------------------------------------------------------------
+    # Element selection
+    # ------------------------------------------------------------------
+    def element_coords(
+        self, env: Optional[Mapping[str, int]] = None
+    ) -> np.ndarray:
+        """Root-tensor coordinates of every element, in sub-tensor order.
+
+        Returns an integer array of shape ``(*self.shape, root.rank)``.
+        Used by the functional executor and by exact aliasing checks.
+        Requires all symbolic indices to be bound by ``env``.
+        """
+        env = env or {}
+        coords = _identity_coords(self.shape)
+        # Walk the path inner-to-outer mapping sub coordinates up.
+        for partition, index in reversed(self.path):
+            concrete = tuple(evaluate(e, env) for e in index)
+            coords = partition.map_coords(coords, concrete)
+        return coords
+
+    def read(
+        self, root_array: np.ndarray, env: Optional[Mapping[str, int]] = None
+    ) -> np.ndarray:
+        """Gather this reference's elements from ``root_array``."""
+        self._check_array(root_array)
+        if self.is_whole:
+            return root_array.copy()
+        coords = self.element_coords(env)
+        flat = coords.reshape(-1, self.root.rank)
+        values = root_array[tuple(flat.T)]
+        return values.reshape(self.shape)
+
+    def write(
+        self,
+        root_array: np.ndarray,
+        value: np.ndarray,
+        env: Optional[Mapping[str, int]] = None,
+    ) -> None:
+        """Scatter ``value`` into ``root_array`` at this reference."""
+        self._check_array(root_array)
+        value = np.asarray(value)
+        if tuple(value.shape) != self.shape:
+            raise TensorError(
+                f"cannot write value of shape {tuple(value.shape)} through "
+                f"reference of shape {self.shape}"
+            )
+        if self.is_whole:
+            root_array[...] = value
+            return
+        coords = self.element_coords(env)
+        flat = coords.reshape(-1, self.root.rank)
+        root_array[tuple(flat.T)] = value.reshape(-1)
+
+    def _check_array(self, root_array: np.ndarray) -> None:
+        if tuple(root_array.shape) != self.root.shape:
+            raise TensorError(
+                f"array of shape {tuple(root_array.shape)} does not realize "
+                f"root tensor {self.root!r}"
+            )
+
+    # ------------------------------------------------------------------
+    # Aliasing
+    # ------------------------------------------------------------------
+    def may_alias(
+        self, other: "TensorRef", env: Optional[Mapping[str, int]] = None
+    ) -> bool:
+        """Do two references possibly share elements?
+
+        Exact when both references are concrete under ``env``; references
+        into different root tensors never alias; otherwise conservatively
+        ``True``.
+        """
+        if self.root != other.root:
+            return False
+        if self.is_whole or other.is_whole:
+            return True
+        env = env or {}
+        try:
+            mine = self.element_coords(env).reshape(-1, self.root.rank)
+            theirs = other.element_coords(env).reshape(-1, self.root.rank)
+        except KeyError:
+            return True  # symbolic index we cannot resolve: be conservative
+        mine_set = {tuple(row) for row in mine.tolist()}
+        return any(tuple(row) in mine_set for row in theirs.tolist())
+
+    def __repr__(self) -> str:
+        if self.is_whole:
+            return repr(self.root)
+        parts = []
+        for partition, index in self.path:
+            idx = ",".join(repr(to_expr(e)) for e in index)
+            parts.append(f"{partition.kind}[{idx}]")
+        return f"{self.root!r}.{'.'.join(parts)}"
+
+
+def _identity_coords(shape: Tuple[int, ...]) -> np.ndarray:
+    """Array of shape ``(*shape, rank)`` holding each element's coords."""
+    grids = np.meshgrid(*[np.arange(n) for n in shape], indexing="ij")
+    return np.stack(grids, axis=-1)

@@ -1,0 +1,25 @@
+"""Shared fixtures for the test suite."""
+
+import numpy as np
+import pytest
+
+from repro.machine import ampere_machine, hopper_machine
+
+
+@pytest.fixture(scope="session")
+def hopper():
+    return hopper_machine()
+
+
+@pytest.fixture(scope="session")
+def ampere():
+    return ampere_machine()
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+def random_f16(rng, *shape, scale=0.1):
+    return (rng.standard_normal(shape) * scale).astype(np.float16)

@@ -1,0 +1,294 @@
+"""Tests for the compiler passes on the real GEMM program.
+
+Each pass is checked through its observable contract on the Figure-5
+GEMM: dependence analysis produces the copy-in/copy-out event graph,
+vectorization flattens every intra-block pfor and records extents, copy
+elimination leaves only physical data movements, allocation respects the
+shared-memory bound and aliases disjoint live ranges, and warp
+specialization assigns global<->shared copies to the DMA role with
+multi-buffered destinations.
+"""
+
+import pytest
+
+from repro.compiler.allocation import allocate_shared
+from repro.compiler.copy_elim import eliminate_copies
+from repro.compiler.dependence import DependenceAnalysis
+from repro.compiler.vectorize import vectorize
+from repro.compiler.warpspec import DMA, block_body, specialize_warps
+from repro.errors import AllocationError, PrivilegeError
+from repro.ir.ops import CallOp, CopyOp, ForOp, PForOp
+from repro.ir.verifier import verify_function
+from repro.kernels.gemm import build_gemm
+from repro.machine.memory import MemoryKind
+from repro.machine.processor import ProcessorKind, is_intra_block
+
+
+@pytest.fixture(scope="module")
+def machine():
+    from repro.machine import hopper_machine
+
+    return hopper_machine()
+
+
+@pytest.fixture(scope="module")
+def small_build(machine):
+    return build_gemm(
+        machine, 256, 256, 128, tile_m=128, tile_n=256, tile_k=64
+    )
+
+
+def _dependence_ir(build):
+    fn = DependenceAnalysis(build.spec, build.name).run(
+        build.arg_shapes, build.arg_dtypes
+    )
+    verify_function(fn)
+    return fn
+
+
+class TestDependenceAnalysis:
+    def test_grid_pfor_structure(self, small_build):
+        fn = _dependence_ir(small_build)
+        grid = [
+            op
+            for op in fn.body.ops
+            if isinstance(op, PForOp) and op.proc is ProcessorKind.BLOCK
+        ]
+        assert len(grid) == 1
+        assert grid[0].extent == 2  # 256 / 128 row tiles
+
+    def test_copy_in_copy_out_discipline(self, small_build):
+        fn = _dependence_ir(small_build)
+        copies = fn.ops_of_type(CopyOp)
+        # every launch introduced fresh-allocation copies
+        assert len(copies) > 10
+
+    def test_k_loop_present(self, small_build):
+        fn = _dependence_ir(small_build)
+        loops = fn.ops_of_type(ForOp)
+        assert any(loop.extent == 2 for loop in loops)  # K / 64
+
+    def test_wgmma_leaf_reached(self, small_build):
+        fn = _dependence_ir(small_build)
+        calls = fn.ops_of_type(CallOp)
+        assert any(c.function == "wgmma_f16" for c in calls)
+
+    def test_broadcast_preconditions_after_pfor(self, small_build):
+        fn = _dependence_ir(small_build)
+        found = False
+        for op in fn.walk():
+            for use in op.preconds:
+                if use.is_broadcast:
+                    found = True
+        assert found, "pfor completions must be consumed via broadcast"
+
+    def test_privilege_violation_detected(self, machine):
+        """A read-only task launching a writer must be rejected."""
+        from repro.frontend import (
+            Inner,
+            Leaf,
+            MappingSpec,
+            TaskMapping,
+            TaskRegistry,
+            call_external,
+            external_function,
+            launch,
+            task,
+            use_registry,
+        )
+
+        reg = TaskRegistry()
+        with use_registry(reg):
+            @external_function("w", cost_kind="simt")
+            def w(x):
+                x[...] = 0
+
+            @task("writer", Leaf, writes=["x"])
+            def writer_leaf(x):
+                call_external("w", x)
+
+            @task("reader", Inner, reads=["x"])
+            def reader_inner(x):
+                launch("writer", x)
+
+        spec = MappingSpec(
+            [
+                TaskMapping(
+                    instance="reader",
+                    variant="reader_inner",
+                    proc=ProcessorKind.HOST,
+                    mems=(MemoryKind.GLOBAL,),
+                    entrypoint=True,
+                    calls=("writer",),
+                ),
+                TaskMapping(
+                    instance="writer",
+                    variant="writer_leaf",
+                    proc=ProcessorKind.BLOCK,
+                    mems=(MemoryKind.GLOBAL,),
+                ),
+            ],
+            reg,
+            machine,
+        )
+        from repro.tensors import f16
+
+        with pytest.raises(PrivilegeError):
+            DependenceAnalysis(spec, "bad").run([(64, 64)], [f16])
+
+
+class TestVectorize:
+    def test_no_intra_block_pfors_left(self, small_build):
+        fn = _dependence_ir(small_build)
+        vectorize(fn)
+        verify_function(fn)
+        for op in fn.walk():
+            if isinstance(op, PForOp):
+                assert not is_intra_block(op.proc)
+
+    def test_proc_extents_recorded(self, small_build):
+        fn = _dependence_ir(small_build)
+        vectorize(fn)
+        extents = fn.metadata["proc_extents"]
+        assert extents["warpgroup"] == 2
+        assert extents["warp"] == 4
+        assert extents["thread"] == 32
+
+    def test_events_promoted(self, small_build):
+        fn = _dependence_ir(small_build)
+        vectorize(fn)
+        promoted = [
+            op.result
+            for op in fn.walk()
+            if op.result is not None and op.result.rank >= 3
+        ]
+        assert promoted, "thread-level ops must have 3-d event arrays"
+
+
+class TestCopyElimination:
+    def _final(self, build):
+        fn = _dependence_ir(build)
+        vectorize(fn)
+        eliminate_copies(fn)
+        verify_function(fn)
+        return fn
+
+    def test_no_global_to_global_copies(self, small_build):
+        fn = self._final(small_build)
+        for op in fn.ops_of_type(CopyOp):
+            src = fn.buffers[op.src.root.uid].memory
+            dst = fn.buffers[op.dst.root.uid].memory
+            assert not (
+                src is MemoryKind.GLOBAL and dst is MemoryKind.GLOBAL
+            ), f"renaming copy survived: {op!r}"
+
+    def test_tma_loads_remain_in_loop(self, small_build):
+        fn = self._final(small_build)
+        loops = fn.ops_of_type(ForOp)
+        k_loop = loops[0]
+        tma = [
+            op
+            for op in k_loop.body.ops
+            if isinstance(op, CopyOp)
+            and fn.buffers[op.src.root.uid].memory is MemoryKind.GLOBAL
+            and fn.buffers[op.dst.root.uid].memory is MemoryKind.SHARED
+        ]
+        assert len(tma) == 2  # one A tile, one B tile
+
+    def test_accumulator_hoisted_out_of_loop(self, small_build):
+        """Spill hoisting must move the register round trip out."""
+        fn = self._final(small_build)
+        k_loop = fn.ops_of_type(ForOp)[0]
+        for op in k_loop.body.ops:
+            if isinstance(op, CopyOp):
+                src = fn.buffers[op.src.root.uid].memory
+                dst = fn.buffers[op.dst.root.uid].memory
+                assert MemoryKind.REGISTER not in (src, dst), (
+                    "per-iteration register spill survived hoisting"
+                )
+
+    def test_copy_count_reduced(self, small_build):
+        before = _dependence_ir(small_build)
+        n_before = len(before.ops_of_type(CopyOp))
+        fn = self._final(small_build)
+        n_after = len(fn.ops_of_type(CopyOp))
+        assert n_after < n_before / 2
+
+
+class TestAllocation:
+    def _prepared(self, build):
+        fn = _dependence_ir(build)
+        vectorize(fn)
+        eliminate_copies(fn)
+        return fn
+
+    def test_fits_machine_bound(self, small_build, machine):
+        fn = self._prepared(small_build)
+        report = allocate_shared(fn)
+        assert report.total_bytes <= report.limit_bytes
+        assert report.registers_per_thread > 0
+
+    def test_offsets_respect_interference(self, small_build):
+        fn = self._prepared(small_build)
+        report = allocate_shared(fn)
+        buffers = fn.buffers_in_memory(MemoryKind.SHARED)
+        # A and B tiles are live simultaneously: must not overlap.
+        offsets = report.offsets
+        named = {b.name: b for b in buffers}
+        a_name = next(n for n in offsets if n.startswith("A_gemm"))
+        b_name = next(n for n in offsets if n.startswith("B_gemm"))
+        a0, a1 = offsets[a_name], offsets[a_name] + named[a_name].size_bytes
+        b0 = offsets[b_name]
+        assert b0 >= a1 or b0 + named[b_name].size_bytes <= a0
+
+    def test_impossible_allocation_raises(self, small_build):
+        fn = self._prepared(small_build)
+        with pytest.raises(AllocationError):
+            allocate_shared(fn, limit_bytes=1024)
+
+
+class TestWarpSpecialization:
+    def _prepared(self, build):
+        fn = _dependence_ir(build)
+        vectorize(fn)
+        eliminate_copies(fn)
+        allocate_shared(fn)
+        return fn
+
+    def test_dma_role_assignment(self, small_build):
+        fn = self._prepared(small_build)
+        report = specialize_warps(fn, enabled=True, pipeline_depth=3)
+        assert report.dma_ops >= 2
+        assert report.compute_ops > 0
+        body = block_body(fn)
+        for op in body.walk():
+            if isinstance(op, CopyOp):
+                src = fn.buffers[op.src.root.uid].memory
+                dst = fn.buffers[op.dst.root.uid].memory
+                if src is MemoryKind.GLOBAL and dst is MemoryKind.SHARED:
+                    assert op.role == DMA
+
+    def test_pipelined_buffers_multibuffered(self, small_build):
+        fn = self._prepared(small_build)
+        specialize_warps(fn, enabled=True, pipeline_depth=3)
+        shared = fn.buffers_in_memory(MemoryKind.SHARED)
+        pipelined = [b for b in shared if b.pipeline_depth == 3]
+        assert len(pipelined) == 2  # the A and B tiles
+
+    def test_backward_war_edges_recorded(self, small_build):
+        fn = self._prepared(small_build)
+        specialize_warps(fn, enabled=True, pipeline_depth=3)
+        k_loop = fn.ops_of_type(ForOp)[0]
+        dma_copies = [
+            op
+            for op in k_loop.body.ops
+            if isinstance(op, CopyOp) and getattr(op, "role", "") == DMA
+        ]
+        for copy in dma_copies:
+            assert copy.war_distance == 3
+            assert copy.war_consumers
+
+    def test_disabled_means_all_compute(self, small_build):
+        fn = self._prepared(small_build)
+        report = specialize_warps(fn, enabled=False, pipeline_depth=1)
+        assert report.dma_ops == 0

@@ -1,0 +1,147 @@
+"""Tests for the event IR: events, ops, printer, verifier."""
+
+import pytest
+
+from repro.errors import IRError, VerificationError
+from repro.ir import (
+    BROADCAST,
+    Block,
+    Buffer,
+    CopyOp,
+    Event,
+    EventDim,
+    EventUse,
+    ForOp,
+    IRFunction,
+    PForOp,
+    print_function,
+    verify_function,
+)
+from repro.machine import hopper_machine
+from repro.machine.memory import MemoryKind
+from repro.machine.processor import ProcessorKind
+from repro.sym import Const, Var
+from repro.tensors import f16
+
+
+def _fn_with_buffers():
+    fn = IRFunction("test", hopper_machine())
+    a = fn.add_param("A", (8, 8), f16)
+    b = fn.add_buffer("B", (8, 8), f16, MemoryKind.SHARED)
+    return fn, a, b
+
+
+class TestEvents:
+    def test_unit_event(self):
+        e = Event()
+        assert e.is_unit
+        assert e.use().indices == ()
+
+    def test_array_event_indexing(self):
+        e = Event((EventDim(4, ProcessorKind.WARP),))
+        use = e.use(Const(2))
+        assert not use.is_broadcast
+        all_use = e.use_all()
+        assert all_use.is_broadcast
+        assert all_use.broadcast_dims[0].proc is ProcessorKind.WARP
+
+    def test_index_arity_checked(self):
+        e = Event((EventDim(4, ProcessorKind.WARP),))
+        with pytest.raises(IRError):
+            e.use()
+
+    def test_use_equality(self):
+        e = Event((EventDim(4, ProcessorKind.WARP),))
+        assert e.use(Const(1)) == e.use(Const(1))
+        assert e.use(Const(1)) != e.use(BROADCAST)
+
+
+class TestOps:
+    def test_copy_shape_check(self):
+        fn, a, b = _fn_with_buffers()
+        with pytest.raises(IRError):
+            CopyOp(a.ref(), fn.add_buffer(
+                "C", (4, 4), f16, MemoryKind.SHARED).ref())
+
+    def test_copy_produces_unit_event(self):
+        fn, a, b = _fn_with_buffers()
+        copy = CopyOp(a.ref(), b.ref())
+        assert copy.result.is_unit
+        assert copy.result.producer is copy
+
+    def test_pfor_produces_array_event(self):
+        loop = PForOp(Var("i"), 4, ProcessorKind.WARP)
+        assert loop.result.type == (EventDim(4, ProcessorKind.WARP),)
+
+    def test_block_walk_recurses(self):
+        fn, a, b = _fn_with_buffers()
+        loop = ForOp(Var("k"), 2)
+        loop.body.append(CopyOp(a.ref(), b.ref()))
+        block = Block([loop])
+        assert len(list(block.walk())) == 2
+
+
+class TestVerifier:
+    def test_valid_function(self):
+        fn, a, b = _fn_with_buffers()
+        c1 = CopyOp(a.ref(), b.ref())
+        fn.body.append(c1)
+        c2 = CopyOp(b.ref(), a.ref(), preconds=[c1.result.use()])
+        fn.body.append(c2)
+        verify_function(fn)
+
+    def test_use_before_def_rejected(self):
+        fn, a, b = _fn_with_buffers()
+        c2 = CopyOp(b.ref(), a.ref())
+        c1 = CopyOp(a.ref(), b.ref(), preconds=[c2.result.use()])
+        fn.body.append(c1)
+        fn.body.append(c2)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_undeclared_buffer_rejected(self):
+        fn, a, b = _fn_with_buffers()
+        rogue = Buffer("rogue", (8, 8), f16, MemoryKind.SHARED)
+        fn.body.append(CopyOp(a.ref(), rogue.ref()))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_out_of_scope_loop_var_rejected(self):
+        from repro.tensors.partition import partition_by_blocks
+
+        fn, a, b = _fn_with_buffers()
+        p = partition_by_blocks(a.ref(), (4, 8))
+        fn.body.append(CopyOp(p[Var("zz"), 0], fn.add_buffer(
+            "D", (4, 8), f16, MemoryKind.SHARED).ref()))
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+    def test_constant_event_index_bounds(self):
+        fn, a, b = _fn_with_buffers()
+        loop = PForOp(Var("i"), 4, ProcessorKind.WARP)
+        loop.body.append(CopyOp(a.ref(), b.ref()))
+        loop.body.yield_use = loop.body.ops[0].result.use()
+        fn.body.append(loop)
+        bad = CopyOp(b.ref(), a.ref(), preconds=[loop.result.use(Const(7))])
+        fn.body.append(bad)
+        with pytest.raises(VerificationError):
+            verify_function(fn)
+
+
+class TestPrinter:
+    def test_prints_events_and_buffers(self):
+        fn, a, b = _fn_with_buffers()
+        c1 = CopyOp(a.ref(), b.ref())
+        fn.body.append(c1)
+        text = print_function(fn)
+        assert "param" in text
+        assert "copy(" in text
+        assert c1.result.name in text
+
+    def test_prints_loops(self):
+        fn, a, b = _fn_with_buffers()
+        loop = ForOp(Var("k"), 3)
+        loop.body.append(CopyOp(a.ref(), b.ref()))
+        fn.body.append(loop)
+        text = print_function(fn)
+        assert "for k in [0, 3)" in text

@@ -1,0 +1,145 @@
+"""Tests for the CuTe-style layout algebra, including algebraic laws."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import LayoutError
+from repro.tensors.layout import (
+    Layout,
+    coalesce,
+    complement,
+    composition,
+    concat,
+    logical_divide,
+)
+
+
+class TestBasics:
+    def test_column_major(self):
+        layout = Layout.column_major((4, 8))
+        assert layout(1, 0) == 1
+        assert layout(0, 1) == 4
+        assert layout.is_compact()
+
+    def test_row_major(self):
+        layout = Layout.row_major((4, 8))
+        assert layout(1, 0) == 8
+        assert layout(0, 1) == 1
+        assert layout.is_compact()
+
+    def test_size_cosize(self):
+        layout = Layout((4, 8), (1, 8))
+        assert layout.size == 32
+        assert layout.cosize == 1 + 3 * 1 + 7 * 8
+
+    def test_strided_not_compact(self):
+        layout = Layout((4,), (2,))
+        assert layout.is_injective()
+        assert not layout.is_compact()
+
+    def test_broadcast_not_injective(self):
+        layout = Layout((4,), (0,))
+        assert not layout.is_injective()
+
+    def test_linear_indexing(self):
+        layout = Layout.column_major((4, 8))
+        assert layout(5) == layout(1, 1)
+
+    def test_out_of_bounds(self):
+        layout = Layout.column_major((4, 8))
+        with pytest.raises(LayoutError):
+            layout(4, 0)
+
+    def test_rank_mismatch(self):
+        with pytest.raises(LayoutError):
+            Layout((4, 8), (1,))
+
+    def test_zero_extent_rejected(self):
+        with pytest.raises(LayoutError):
+            Layout((0,), (1,))
+
+
+class TestCoalesce:
+    def test_fuses_contiguous(self):
+        layout = Layout((4, 8), (1, 4))
+        assert coalesce(layout) == Layout((32,), (1,))
+
+    def test_keeps_gaps(self):
+        layout = Layout((4, 8), (1, 8))
+        assert coalesce(layout) == layout
+
+    def test_drops_unit_modes(self):
+        layout = Layout((1, 8), (0, 1))
+        assert coalesce(layout) == Layout((8,), (1,))
+
+    def test_preserves_offsets(self):
+        layout = Layout((2, 3, 4), (1, 2, 6))
+        fused = coalesce(layout)
+        assert list(layout.offsets()) == list(fused.offsets())
+
+
+class TestComposition:
+    def test_identity(self):
+        outer = Layout.column_major((16,))
+        inner = Layout((16,), (1,))
+        assert composition(outer, inner)(5) == 5
+
+    def test_stride_pickup(self):
+        outer = Layout((16,), (2,))
+        inner = Layout((4,), (4,))
+        composed = composition(outer, inner)
+        for i in range(4):
+            assert composed(i) == outer(inner(i))
+
+    def test_too_large_inner(self):
+        with pytest.raises(LayoutError):
+            composition(Layout((4,), (1,)), Layout((8,), (1,)))
+
+
+class TestComplement:
+    def test_complement_completes(self):
+        tile = Layout((4,), (1,))
+        rest = complement(tile, 16)
+        combined = concat(tile, rest)
+        assert sorted(combined.offsets()) == list(range(16))
+
+    def test_strided_complement(self):
+        tile = Layout((4,), (4,))
+        rest = complement(tile, 16)
+        combined = concat(tile, rest)
+        assert sorted(combined.offsets()) == list(range(16))
+
+    def test_requires_injective(self):
+        with pytest.raises(LayoutError):
+            complement(Layout((4,), (0,)), 16)
+
+
+class TestLogicalDivide:
+    def test_tiles_of_vector(self):
+        layout = Layout.column_major((16,))
+        tiler = Layout((4,), (1,))
+        divided = logical_divide(layout, tiler)
+        # first mode walks within a tile, second across tiles
+        assert divided(1, 0) - divided(0, 0) == 1
+        assert divided(0, 1) - divided(0, 0) == 4
+
+
+@given(
+    extents=st.lists(
+        st.integers(min_value=1, max_value=5), min_size=1, max_size=3
+    )
+)
+def test_column_major_is_bijection(extents):
+    layout = Layout.column_major(tuple(extents))
+    offsets = list(layout.offsets())
+    assert sorted(offsets) == list(range(layout.size))
+
+
+@given(
+    extents=st.lists(
+        st.integers(min_value=1, max_value=4), min_size=1, max_size=3
+    )
+)
+def test_coalesce_preserves_function(extents):
+    layout = Layout.row_major(tuple(extents))
+    assert list(layout.offsets()) == list(coalesce(layout).offsets())

@@ -1,0 +1,84 @@
+"""Tests for XOR swizzles and bank-conflict accounting."""
+
+from hypothesis import given, strategies as st
+
+from repro.tensors.swizzle import (
+    IDENTITY,
+    SWIZZLE_128B,
+    Swizzle,
+    bank_conflict_ways,
+    choose_swizzle,
+    column_access_offsets,
+    conflict_free,
+)
+
+
+class TestSwizzle:
+    def test_identity(self):
+        assert IDENTITY(1234) == 1234
+        assert IDENTITY.is_identity()
+
+    def test_involution(self):
+        sw = SWIZZLE_128B
+        for offset in range(0, 4096, 16):
+            assert sw(sw(offset)) == offset
+
+    def test_changes_offsets(self):
+        sw = SWIZZLE_128B
+        assert any(sw(o) != o for o in range(0, 4096, 16))
+
+
+class TestBankConflicts:
+    def test_sequential_access_conflict_free(self):
+        offsets = [4 * lane for lane in range(32)]
+        assert bank_conflict_ways(offsets) == 1
+
+    def test_column_access_conflicts_unswizzled(self):
+        # Reading down a column with a 128-byte row stride lands every
+        # lane in the same bank: a 32-way conflict.
+        offsets = column_access_offsets(32, 128, 2)
+        assert bank_conflict_ways(offsets) == 32
+
+    def test_swizzle_removes_column_conflicts(self):
+        offsets = column_access_offsets(32, 128, 2)
+        ways = bank_conflict_ways(offsets, SWIZZLE_128B)
+        assert ways < 32 // 2
+
+    def test_same_address_is_broadcast(self):
+        # All lanes hitting one address is a broadcast, not a conflict.
+        assert bank_conflict_ways([64] * 32) == 1
+
+    def test_conflict_free_predicate(self):
+        assert conflict_free(lambda lane: 4 * lane)
+        assert not conflict_free(lambda lane: 128 * lane)
+
+
+class TestChooseSwizzle:
+    def test_128b_rows(self):
+        assert choose_swizzle(128).bits == 3
+
+    def test_64b_rows(self):
+        assert choose_swizzle(64).bits == 2
+
+    def test_32b_rows(self):
+        assert choose_swizzle(32).bits == 1
+
+    def test_narrow_rows_identity(self):
+        assert choose_swizzle(24).is_identity()
+
+
+@given(
+    bits=st.integers(min_value=0, max_value=3),
+    base=st.integers(min_value=0, max_value=4),
+    shift=st.integers(min_value=1, max_value=4),
+    offsets=st.lists(
+        st.integers(min_value=0, max_value=2**14 - 1),
+        min_size=1,
+        max_size=64,
+        unique=True,
+    ),
+)
+def test_swizzle_is_injective(bits, base, shift, offsets):
+    sw = Swizzle(bits, base, shift)
+    mapped = [sw(o) for o in offsets]
+    assert len(set(mapped)) == len(offsets)
