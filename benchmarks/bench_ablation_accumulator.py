@@ -17,18 +17,18 @@ SIZES = (4096, 8192)
 
 
 def test_accumulator_placement_ablation(machine, benchmark):
-    series = {"register acc": [], "shared acc": []}
-    for size in SIZES:
-        for label, acc in (
-            ("register acc", "register"),
-            ("shared acc", "shared"),
-        ):
-            build = build_gemm_reduction(
-                machine, size, size, size, accumulator=acc
-            )
-            series[label].append(
-                api.simulate(api.compile_kernel(build), machine).tflops
-            )
+    placements = ("register", "shared")
+    builds = [
+        build_gemm_reduction(machine, size, size, size, accumulator=acc)
+        for size in SIZES
+        for acc in placements
+    ]
+    kernels = api.compile_many(builds)
+    tflops = [api.simulate(kernel, machine).tflops for kernel in kernels]
+    series = {
+        "register acc": tflops[0::2],
+        "shared acc": tflops[1::2],
+    }
     print_series(
         "Ablation: GEMM+Reduction accumulator placement (TFLOP/s)",
         SIZES,

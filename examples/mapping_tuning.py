@@ -7,71 +7,78 @@ without touching the logical program — the exploration the paper calls
 out as impossible in Triton and invasive in CUTLASS.
 
     python examples/mapping_tuning.py
+
+Tuning
+------
+The sweep goes through the autotuning subsystem in :mod:`repro.tuner`:
+
+1. Declare the axes as a :class:`MappingSearchSpace`. Each candidate is
+   a plain dict of ``build_gemm`` keyword arguments; the space's
+   ``constraint`` drops mappings that can never compile (here the
+   WGMMA rule that warpgroup tiles need 64 rows).
+2. Call :func:`autotune` with a builder closure. Candidates are
+   batch-compiled in a thread pool via ``api.compile_many``; every
+   compile goes through the pass-manager pipeline behind the
+   content-keyed compile cache, so re-running the sweep (or overlapping
+   sweeps) recompiles nothing.
+3. The returned :class:`TuningReport` ranks feasible mappings by
+   simulated TFLOP/s and keeps infeasible ones (e.g. shared-memory
+   over-subscription) with the compiler's error message — the compiler
+   reports them instead of silently mis-compiling.
+
+To tune a different kernel family, swap the builder. The default axes
+match the GEMM-family builders (``tile_m``/``tile_n``/``tile_k``,
+``wgs``, ``pipeline``, ``warpspecialize``); extra axes like the
+GEMM+Reduction accumulator placement go in
+``MappingSearchSpace(extra={"accumulator": ("register", "shared")})``.
+Builders with different tiling knobs (the attention builders take
+``q_tile``/``kv_tile``) adapt in the closure, e.g.::
+
+    autotune(
+        lambda m, **p: build_flash_attention2(
+            m, heads, seq, q_tile=p["tile_m"], kv_tile=p["tile_n"],
+            wgs=p["wgs"], pipeline=p["pipeline"],
+            warpspecialize=p["warpspecialize"],
+        ),
+        machine, space,
+    )
+
+A candidate whose parameters a builder rejects is recorded as a failed
+result rather than aborting the sweep.
 """
 
-import itertools
-
-from repro import api
-from repro.errors import CypressError
 from repro.kernels import build_gemm
 from repro.machine import hopper_machine
+from repro.tuner import MappingSearchSpace, autotune
 
 SIZE = 4096
+
+#: The paper's section-5.4 exploration, as data.
+SEARCH_SPACE = MappingSearchSpace(
+    tiles=((256, 256), (128, 256), (128, 128)),
+    tile_k=(64,),
+    warpgroups=(1, 2),
+    pipeline_depths=(1, 2, 3, 4),
+    warpspecialize=(True, False),
+)
 
 
 def main() -> None:
     machine = hopper_machine()
-    rows = []
-    sweep = itertools.product(
-        ((256, 256), (128, 256), (128, 128)),  # (tile_m, tile_n)
-        (1, 2),                                 # warpgroups
-        (1, 2, 3, 4),                           # pipeline depth
-        (True, False),                          # warp specialization
+    report = autotune(
+        lambda m, **params: build_gemm(m, SIZE, SIZE, SIZE, **params),
+        machine,
+        SEARCH_SPACE,
     )
-    for (tile_m, tile_n), wgs, pipeline, warpspec in sweep:
-        if tile_m // wgs % 64:
-            continue  # warp-level mma needs 64-row warpgroup tiles
-        try:
-            build = build_gemm(
-                machine, SIZE, SIZE, SIZE,
-                tile_m=tile_m, tile_n=tile_n, tile_k=64,
-                wgs=wgs, pipeline=pipeline, warpspecialize=warpspec,
-            )
-            result = api.simulate(api.compile_kernel(build), machine)
-        except CypressError as error:
-            # e.g. shared-memory over-subscription: the compiler reports
-            # it instead of silently mis-compiling.
-            rows.append(
-                ((tile_m, tile_n), wgs, pipeline, warpspec, None, error)
-            )
-            continue
-        rows.append(
-            ((tile_m, tile_n), wgs, pipeline, warpspec, result.tflops, None)
-        )
-
-    rows.sort(key=lambda r: -(r[4] or 0))
+    print(report.summary())
+    best = report.best
     print(
-        f"{'tile':>10} {'wgs':>4} {'pipe':>5} {'warpspec':>9} "
-        f"{'TFLOP/s':>9}"
-    )
-    for (tile, wgs, pipeline, warpspec, tflops, error) in rows:
-        label = f"{tile[0]}x{tile[1]}"
-        if tflops is None:
-            reason = str(error).split(";")[0][:40]
-            print(
-                f"{label:>10} {wgs:>4} {pipeline:>5} {str(warpspec):>9} "
-                f"     — ({reason}...)"
-            )
-        else:
-            print(
-                f"{label:>10} {wgs:>4} {pipeline:>5} {str(warpspec):>9} "
-                f"{tflops:>9.1f}"
-            )
-    best = rows[0]
-    print(
-        f"\nbest mapping: tile {best[0][0]}x{best[0][1]}, "
-        f"{best[1]} warpgroups, pipeline {best[2]}, "
-        f"warpspec={best[3]} -> {best[4]:.1f} TFLOP/s"
+        f"\nbest mapping: tile "
+        f"{best.candidate['tile_m']}x{best.candidate['tile_n']}, "
+        f"{best.candidate['wgs']} warpgroups, "
+        f"pipeline {best.candidate['pipeline']}, "
+        f"warpspec={best.candidate['warpspecialize']} "
+        f"-> {best.tflops:.1f} TFLOP/s"
     )
 
 

@@ -7,12 +7,13 @@ paper-vs-measured results.
 
 Entry points:
 
-- :mod:`repro.api` — compile / run / simulate.
+- :mod:`repro.api` — compile / run / simulate / batch-compile.
+- :mod:`repro.tuner` — the parallel mapping autotuner.
 - :mod:`repro.kernels` — the paper's kernel zoo (GEMM family, attention).
 - :mod:`repro.machine` — H100 / A100 machine models.
 - :mod:`repro.baselines` — comparator system models.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["api", "kernels", "machine", "baselines", "__version__"]
+__all__ = ["api", "kernels", "machine", "baselines", "tuner", "__version__"]

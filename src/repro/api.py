@@ -1,5 +1,12 @@
 """High-level public API.
 
+Compilation flows through the pass-manager pipeline
+(:mod:`repro.compiler.passes`) behind a content-keyed compile cache:
+recompiling an identical kernel instantiation returns the cached
+:class:`CompiledKernel` without executing any pass. ``compile_many``
+batch-compiles builds from a worker pool, and the mapping autotuner in
+:mod:`repro.tuner` sits on top of both.
+
 Typical use::
 
     from repro import api
@@ -12,26 +19,73 @@ Typical use::
     out = api.run_functional(kernel, {"C": C, "A": A, "B": B})
     result = api.simulate(kernel, machine)
     print(result.summary())
+    print(kernel.pass_trace.summary())  # where compile time went
+
+Batch + tuning::
+
+    kernels = api.compile_many([build_gemm(machine, 4096, 4096, 4096,
+                                           pipeline=d) for d in (1, 2, 3)])
+    from repro.tuner import MappingSearchSpace, autotune
+    report = autotune(build_gemm_at, machine, MappingSearchSpace())
 """
 
 from __future__ import annotations
 
-from typing import Dict, Mapping, Optional
+import enum
+import functools
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
+from repro.compiler.cache import CacheStats, compile_cache
+from repro.compiler.passes import CompileOptions
 from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.errors import CypressError
 from repro.gpusim.functional import interpret_function
 from repro.gpusim.gpu import GpuResult, simulate_kernel
-from repro.kernels.common import kernel_registry
-from repro.kernels.gemm import KernelBuild
+from repro.kernels.common import KernelBuild, kernel_registry
 from repro.machine.machine import MachineModel
 
 
+class Stage(str, enum.Enum):
+    """Which IR of a :class:`CompiledKernel` to interpret.
+
+    ``FINAL`` is the IR after all passes; ``DEPENDENCE`` is the IR
+    straight out of dependence analysis. Agreement between the two on
+    the same inputs is the compiler's semantics-preservation check.
+    """
+
+    FINAL = "final"
+    DEPENDENCE = "dependence"
+
+
+def _coerce_stage(stage: Union[Stage, str]) -> Stage:
+    if isinstance(stage, Stage):
+        return stage
+    try:
+        return Stage(stage)
+    except ValueError:
+        valid = ", ".join(repr(s.value) for s in Stage)
+        raise CypressError(
+            f"unknown stage {stage!r}; valid stages: {valid}"
+        ) from None
+
+
 def compile_kernel(
-    build: KernelBuild, use_tma: Optional[bool] = None
+    build: KernelBuild,
+    use_tma: Optional[bool] = None,
+    scalar_args: Optional[Dict[str, Any]] = None,
+    options: Optional[CompileOptions] = None,
 ) -> CompiledKernel:
-    """Compile a kernel build produced by ``repro.kernels.build_*``."""
+    """Compile a kernel build produced by ``repro.kernels.build_*``.
+
+    ``scalar_args`` defaults to the build's own ``scalar_args``; pass a
+    dict to override. ``options`` configures verification, caching, and
+    the pass list (see :class:`~repro.compiler.passes.CompileOptions`).
+    """
+    if scalar_args is None:
+        scalar_args = build.scalar_args
     return compile_program(
         build.spec,
         build.name,
@@ -39,28 +93,97 @@ def compile_kernel(
         build.arg_dtypes,
         total_flops=build.total_flops,
         unique_dram_bytes=build.unique_dram_bytes,
+        scalar_args=scalar_args,
         use_tma=use_tma,
+        options=options,
     )
+
+
+def _compile_one(
+    build: KernelBuild,
+    use_tma: Optional[bool],
+    options: Optional[CompileOptions],
+    return_errors: bool,
+) -> Union[CompiledKernel, CypressError]:
+    # Module-level (not a closure) so a process pool can pickle the
+    # worker; the builds themselves must also be picklable for that.
+    if not return_errors:
+        return compile_kernel(build, use_tma=use_tma, options=options)
+    try:
+        return compile_kernel(build, use_tma=use_tma, options=options)
+    except CypressError as error:
+        return error
+
+
+def compile_many(
+    builds: Iterable[KernelBuild],
+    *,
+    options: Optional[CompileOptions] = None,
+    use_tma: Optional[bool] = None,
+    executor: str = "thread",
+    max_workers: Optional[int] = None,
+    return_errors: bool = False,
+) -> List[Union[CompiledKernel, CypressError]]:
+    """Batch-compile builds, preserving input order.
+
+    Args:
+        builds: the kernel builds to compile.
+        options / use_tma: as in :func:`compile_kernel`, applied to all.
+        executor: ``"thread"`` (default; compilation shares the compile
+            cache), ``"process"`` (requires picklable builds), or
+            ``"serial"``.
+        max_workers: pool size; ``None`` uses the pool's default.
+        return_errors: when True, a build whose compilation raises a
+            :class:`CypressError` yields that error object in its slot
+            instead of aborting the whole batch (the autotuner relies on
+            this to keep sweeping past infeasible mappings).
+    """
+    builds = list(builds)
+    one = functools.partial(
+        _compile_one,
+        use_tma=use_tma,
+        options=options,
+        return_errors=return_errors,
+    )
+    if executor == "serial":
+        return [one(build) for build in builds]
+    pool: Executor
+    if executor == "thread":
+        pool = ThreadPoolExecutor(max_workers=max_workers)
+    elif executor == "process":
+        pool = ProcessPoolExecutor(max_workers=max_workers)
+    else:
+        raise CypressError(
+            f"unknown executor {executor!r}; valid executors: 'thread', "
+            "'process', 'serial'"
+        )
+    with pool:
+        try:
+            return list(pool.map(one, builds))
+        except CypressError:
+            raise
+        except Exception as error:  # e.g. unpicklable builds in a process pool
+            if executor == "process":
+                raise CypressError(
+                    "process-pool compilation failed (kernel builds hold "
+                    "traced task closures and are typically not picklable); "
+                    f"use executor='thread' instead: {error}"
+                ) from error
+            raise
 
 
 def run_functional(
     kernel: CompiledKernel,
     inputs: Mapping[str, np.ndarray],
-    stage: str = "final",
+    stage: Union[Stage, str] = Stage.FINAL,
 ) -> Dict[str, np.ndarray]:
     """Execute a compiled kernel on numpy data.
 
-    ``stage`` selects which IR to interpret: ``"final"`` (after all
-    passes) or ``"dependence"`` (straight out of dependence analysis);
-    agreement between the two is the compiler's semantics-preservation
-    check.
+    ``stage`` is a :class:`Stage` (the string forms ``"final"`` and
+    ``"dependence"`` remain accepted for backward compatibility).
     """
-    if stage == "final":
-        fn = kernel.final_ir
-    elif stage == "dependence":
-        fn = kernel.dependence_ir
-    else:
-        raise ValueError("stage must be 'final' or 'dependence'")
+    stage = _coerce_stage(stage)
+    fn = kernel.final_ir if stage is Stage.FINAL else kernel.dependence_ir
     return interpret_function(fn, kernel_registry, inputs)
 
 
@@ -72,3 +195,13 @@ def simulate(kernel: CompiledKernel, machine: MachineModel) -> GpuResult:
 def tflops(kernel: CompiledKernel, machine: MachineModel) -> float:
     """Convenience: simulated throughput in TFLOP/s."""
     return simulate(kernel, machine).tflops
+
+
+def clear_compile_cache() -> None:
+    """Drop every cached kernel and reset the hit/miss counters."""
+    compile_cache.clear()
+
+
+def compile_cache_stats() -> CacheStats:
+    """Hit/miss counters of the process-wide compile cache."""
+    return compile_cache.stats

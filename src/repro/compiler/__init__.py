@@ -1,20 +1,63 @@
 """The Cypress compiler (paper section 4, Figure 6).
 
-Passes, in pipeline order:
+The pipeline is organized as an explicit **pass manager**
+(:mod:`repro.compiler.passes`): each stage is a named :class:`Pass` in
+:data:`PASS_REGISTRY`, and :class:`PassManager` runs an ordered list of
+them with per-pass wall-time/IR-size instrumentation and a configurable
+:class:`VerifyPolicy`. The default pipeline, in order:
 
-1. :mod:`repro.compiler.dependence` — task tree to event IR.
-2. :mod:`repro.compiler.vectorize` — flatten implicit parallel loops.
-3. :mod:`repro.compiler.copy_elim` — remove copy-in/copy-out noise.
-4. :mod:`repro.compiler.allocation` — shared-memory interference
-   allocation with WAR synchronization edges.
-5. :mod:`repro.compiler.warpspec` — warp specialization and software
-   pipelining.
-6. :mod:`repro.compiler.codegen_cuda` / :mod:`repro.compiler.codegen_sim`
-   — CUDA-like C++ text, and the executable schedule for the simulator.
+1. :mod:`repro.compiler.dependence` — task tree to event IR (the
+   frontend stage; it *creates* the IR, so it runs before the manager).
+2. ``vectorize`` — flatten implicit parallel loops.
+3. ``copy-elim`` — remove copy-in/copy-out noise.
+4. ``allocate-shared`` — shared-memory interference allocation with WAR
+   synchronization edges.
+5. ``warp-specialize`` — warp specialization and software pipelining.
+6. ``lower-schedule`` / ``codegen-cuda`` — the executable schedule for
+   the simulator, and CUDA-like C++ text.
 
-:func:`repro.compiler.pipeline.compile_program` runs them in order.
+:func:`repro.compiler.pipeline.compile_program` drives the whole flow.
+It is fronted by a content-keyed **compile cache**
+(:mod:`repro.compiler.cache`): the cache key hashes the mapping spec,
+the argument shapes/dtypes, the machine description, and the
+:class:`CompileOptions`, so recompiling an identical instantiation (the
+common case in autotuning sweeps) executes no passes at all. The
+per-pass :class:`PassTrace` lands in ``CompiledKernel.metadata``.
 """
 
+from repro.compiler.cache import CompileCache, compile_cache, compile_key
+from repro.compiler.passes import (
+    DEFAULT_PIPELINE,
+    PASS_REGISTRY,
+    CompileOptions,
+    Pass,
+    PassContext,
+    PassManager,
+    PassRecord,
+    PassTrace,
+    VerifyPolicy,
+    build_pass,
+    pass_execution_count,
+    register_pass,
+)
 from repro.compiler.pipeline import CompiledKernel, compile_program
 
-__all__ = ["compile_program", "CompiledKernel"]
+__all__ = [
+    "CompileCache",
+    "CompileOptions",
+    "CompiledKernel",
+    "DEFAULT_PIPELINE",
+    "PASS_REGISTRY",
+    "Pass",
+    "PassContext",
+    "PassManager",
+    "PassRecord",
+    "PassTrace",
+    "VerifyPolicy",
+    "build_pass",
+    "compile_cache",
+    "compile_key",
+    "compile_program",
+    "pass_execution_count",
+    "register_pass",
+]

@@ -1,0 +1,148 @@
+"""Content-keyed compile cache.
+
+A kernel compilation is a pure function of (mapping spec, argument
+shapes/dtypes, machine, compile options): the logical program is reached
+*through* the spec's registry, and mapping decisions plus machine
+parameters determine every pass's output. The cache keys on a SHA-256
+fingerprint of exactly those inputs, so recompiling an identical
+instantiation — the common case in autotuning sweeps and repeated
+benchmark runs — returns the previous :class:`CompiledKernel` without
+executing a single pass.
+
+The cache is a bounded LRU and is thread-safe: ``api.compile_many``
+hits it concurrently from a thread pool. Cached kernels are shared
+objects; treat them as immutable.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Any, Optional, Sequence, Tuple
+
+from repro.frontend.mapping import MappingSpec, canonicalize
+from repro.tensors.dtype import DType
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters since the last ``clear``."""
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+def compile_key(
+    spec: MappingSpec,
+    name: str,
+    arg_shapes: Sequence[Tuple[int, ...]],
+    arg_dtypes: Sequence[DType],
+    total_flops: float,
+    unique_dram_bytes: float,
+    options: Any,
+) -> str:
+    """The content fingerprint of one kernel instantiation.
+
+    ``spec.fingerprint()`` covers every mapping decision and the machine
+    description; the remainder covers the concrete instantiation and the
+    options that influence compiler output (``use_tma``, scalar
+    arguments, the pass list). The verification policy is included even
+    though it never changes what is built: a caller asking for
+    verify-every-pass must not be handed a kernel that was cached
+    unverified (and the cached ``pass_trace`` records which policy
+    actually ran). Only the ``cache`` flag itself is excluded.
+    """
+    payload = repr(
+        (
+            spec.fingerprint(),
+            name,
+            tuple(tuple(shape) for shape in arg_shapes),
+            tuple(dtype.name for dtype in arg_dtypes),
+            float(total_flops),
+            float(unique_dram_bytes),
+            options.use_tma,
+            canonicalize(options.scalar_args or {}),
+            options.passes,
+            options.verify.value,
+        )
+    ).encode()
+    return hashlib.sha256(payload).hexdigest()
+
+
+class CompileCache:
+    """A bounded, thread-safe LRU of :class:`CompiledKernel` objects."""
+
+    def __init__(self, capacity: int = 256):
+        if capacity < 1:
+            raise ValueError("compile cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = CacheStats()
+        self._entries: "OrderedDict[str, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+        self._in_flight: dict = {}
+
+    def get(self, key: str) -> Optional[Any]:
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+            return None
+
+    def put(self, key: str, kernel: Any) -> None:
+        with self._lock:
+            self._entries[key] = kernel
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+
+    def get_or_compute(self, key: str, compute) -> Any:
+        """Return the cached kernel for ``key``, computing it at most
+        once across threads.
+
+        Concurrent callers with the same key (a batch compilation with
+        duplicate builds, overlapping tuning sweeps) serialize on a
+        per-key lock: one runs ``compute``, the rest wait and take the
+        result as a hit instead of re-running the pass pipeline.
+        """
+        cached = self.get(key)
+        if cached is not None:
+            return cached
+        with self._lock:
+            key_lock = self._in_flight.setdefault(key, threading.Lock())
+        with key_lock:
+            with self._lock:
+                if key in self._entries:
+                    self._entries.move_to_end(key)
+                    self.stats.hits += 1
+                    return self._entries[key]
+            value = compute()
+            self.put(key, value)
+            with self._lock:
+                self._in_flight.pop(key, None)
+            return value
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self._in_flight.clear()
+            self.stats = CacheStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def __contains__(self, key: str) -> bool:
+        with self._lock:
+            return key in self._entries
+
+
+#: The process-wide cache consulted by ``compile_program``.
+compile_cache = CompileCache()

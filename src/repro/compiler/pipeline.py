@@ -1,29 +1,44 @@
-"""The pass pipeline driver (paper Figure 6).
+"""The compile driver: frontend, pass manager, and compile cache.
 
-``compile_program`` runs dependence analysis, vectorization, copy
-elimination, shared-memory allocation, warp specialization with
-pipelining, and both backends, verifying the IR between passes. The
-result bundles every intermediate artifact so tests and tools can
-inspect each stage.
+``compile_program`` is the one entry point every caller funnels through
+(directly or via :func:`repro.api.compile_kernel`). It
+
+1. fingerprints the instantiation and consults the content-keyed
+   :mod:`compile cache <repro.compiler.cache>`;
+2. on a miss, runs dependence analysis (task tree -> event IR) and then
+   the :class:`~repro.compiler.passes.PassManager` over the default
+   Figure-6 pipeline (or ``options.passes``);
+3. bundles every artifact — both IR stages, the simulator schedule, the
+   CUDA text, the allocation and warp-specialization reports, and the
+   per-pass :class:`~repro.compiler.passes.PassTrace` — into a
+   :class:`CompiledKernel`.
+
+The legacy keyword arguments (``scalar_args``, ``use_tma``) remain for
+compatibility; new code should pass a
+:class:`~repro.compiler.passes.CompileOptions`.
 """
 
 from __future__ import annotations
 
 import copy
+import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
 
-from repro.compiler.allocation import AllocationReport, allocate_shared
-from repro.compiler.codegen_cuda import generate_cuda
-from repro.compiler.codegen_sim import lower_to_schedule
-from repro.compiler.copy_elim import eliminate_copies
+from repro.compiler.allocation import AllocationReport
+from repro.compiler.cache import compile_cache, compile_key
 from repro.compiler.dependence import DependenceAnalysis
-from repro.compiler.vectorize import vectorize
-from repro.compiler.warpspec import WarpSpecReport, specialize_warps
+from repro.compiler.passes import (
+    CompileOptions,
+    PassContext,
+    PassManager,
+    PassTrace,
+)
+from repro.compiler.warpspec import WarpSpecReport
+from repro.errors import CompileError
 from repro.frontend.mapping import MappingSpec, TaskMapping
 from repro.gpusim.kernel import KernelSchedule
 from repro.ir.module import IRFunction
-from repro.ir.verifier import verify_function
 from repro.machine.processor import ProcessorKind
 from repro.tensors.dtype import DType
 
@@ -41,6 +56,11 @@ class CompiledKernel:
     warpspec: WarpSpecReport
     metadata: Dict[str, Any] = field(default_factory=dict)
 
+    @property
+    def pass_trace(self) -> Optional[PassTrace]:
+        """Per-pass instrumentation from the pass manager."""
+        return self.metadata.get("pass_trace")
+
 
 def compile_program(
     spec: MappingSpec,
@@ -51,6 +71,7 @@ def compile_program(
     unique_dram_bytes: float,
     scalar_args: Optional[Dict[str, Any]] = None,
     use_tma: Optional[bool] = None,
+    options: Optional[CompileOptions] = None,
 ) -> CompiledKernel:
     """Compile a mapped Cypress program for concrete argument shapes.
 
@@ -64,51 +85,99 @@ def compile_program(
             reporting.
         unique_dram_bytes: compulsory global traffic (the operands'
             footprint), for the HBM roofline.
-        scalar_args: values for non-tensor entrypoint parameters.
+        scalar_args: values for non-tensor entrypoint parameters
+            (overrides ``options.scalar_args`` when given).
         use_tma: force the copy mechanism; defaults to the machine's
-            capability.
+            capability (overrides ``options.use_tma`` when given).
+        options: full compile configuration; see
+            :class:`~repro.compiler.passes.CompileOptions`.
     """
+    options = _merge_options(options, scalar_args, use_tma)
+    key = compile_key(
+        spec, name, arg_shapes, arg_dtypes, total_flops,
+        unique_dram_bytes, options,
+    )
+
+    def compute() -> CompiledKernel:
+        return _compile_uncached(
+            spec, name, arg_shapes, arg_dtypes, total_flops,
+            unique_dram_bytes, options, key,
+        )
+
+    if not options.cache:
+        return compute()
+    # get_or_compute dedupes concurrent compilations of the same key
+    # (duplicate builds in one compile_many batch, overlapping sweeps).
+    return compile_cache.get_or_compute(key, compute)
+
+
+def _merge_options(
+    options: Optional[CompileOptions],
+    scalar_args: Optional[Dict[str, Any]],
+    use_tma: Optional[bool],
+) -> CompileOptions:
+    """Fold the legacy keyword arguments into a CompileOptions."""
+    if options is None:
+        options = CompileOptions()
+    updates: Dict[str, Any] = {}
+    if scalar_args is not None:
+        updates["scalar_args"] = scalar_args
+    if use_tma is not None:
+        updates["use_tma"] = use_tma
+    if updates:
+        options = dataclasses.replace(options, **updates)
+    return options
+
+
+def _compile_uncached(
+    spec: MappingSpec,
+    name: str,
+    arg_shapes: Sequence[Tuple[int, ...]],
+    arg_dtypes: Sequence[DType],
+    total_flops: float,
+    unique_dram_bytes: float,
+    options: CompileOptions,
+    cache_key: str,
+) -> CompiledKernel:
     analysis = DependenceAnalysis(spec, name)
-    fn = analysis.run(arg_shapes, arg_dtypes, scalar_args)
-    verify_function(fn)
+    fn = analysis.run(arg_shapes, arg_dtypes, options.scalar_args)
     dependence_ir = copy.deepcopy(fn)
 
-    vectorize(fn)
-    verify_function(fn)
-
-    eliminate_copies(fn)
-    verify_function(fn)
-
-    block_mapping = _block_instance(spec)
-    limit = spec.smem_limit(block_mapping) if block_mapping else None
-    allocation = allocate_shared(fn, limit)
-
-    warpspecialize = bool(block_mapping and block_mapping.warpspecialize)
-    pipeline_depth = block_mapping.pipeline if block_mapping else 1
-    warpspec = specialize_warps(
-        fn, enabled=warpspecialize, pipeline_depth=pipeline_depth
-    )
-
-    schedule = lower_to_schedule(
-        fn,
-        spec.registry,
+    ctx = PassContext(
+        spec=spec,
+        kernel_name=name,
+        arg_shapes=arg_shapes,
+        arg_dtypes=arg_dtypes,
         total_flops=total_flops,
         unique_dram_bytes=unique_dram_bytes,
-        use_tma=use_tma,
+        options=options,
+        block_mapping=_block_instance(spec),
     )
-    cuda_source = generate_cuda(fn)
+    manager = PassManager(options.passes, verify=options.verify)
+    trace = manager.run(fn, ctx)
+
+    for artifact in ("allocation", "warpspec", "schedule", "cuda_source"):
+        if artifact not in ctx.artifacts:
+            raise CompileError(
+                f"pass pipeline {manager.pass_names} produced no "
+                f"{artifact!r} artifact; compile_program needs the full "
+                "backend — use PassManager directly for partial pipelines"
+            )
 
     return CompiledKernel(
         name=name,
         dependence_ir=dependence_ir,
         final_ir=fn,
-        schedule=schedule,
-        cuda_source=cuda_source,
-        allocation=allocation,
-        warpspec=warpspec,
+        schedule=ctx.artifacts["schedule"],
+        cuda_source=ctx.artifacts["cuda_source"],
+        allocation=ctx.artifacts["allocation"],
+        warpspec=ctx.artifacts["warpspec"],
         metadata={
             "machine": spec.machine.name,
             "entry": spec.entrypoint.instance,
+            "pass_trace": trace,
+            "cache_key": cache_key,
+            "options": options,
         },
     )
 
@@ -117,20 +186,28 @@ def _block_instance(spec: MappingSpec) -> Optional[TaskMapping]:
     """The BLOCK-level instance carrying warpspec/pipeline directives.
 
     Prefers an instance that explicitly requests warp specialization or
-    a pipeline; falls back to the first BLOCK-level instance reached
-    from the entrypoint.
+    a pipeline; falls back to a BLOCK-level instance reached from the
+    entrypoint. Candidates are sorted by instance name so the choice is
+    deterministic (dict iteration order must not influence compiler
+    output — the compile-cache key assumes reproducible compiles).
     """
-    candidates = [
-        m
-        for m in spec.by_instance.values()
-        if m.proc is ProcessorKind.BLOCK
-        and (m.warpspecialize or m.pipeline > 1)
-    ]
+    candidates = sorted(
+        (
+            m
+            for m in spec.by_instance.values()
+            if m.proc is ProcessorKind.BLOCK
+            and (m.warpspecialize or m.pipeline > 1)
+        ),
+        key=lambda m: m.instance,
+    )
     if candidates:
         return candidates[0]
-    blocks = [
-        m
-        for m in spec.by_instance.values()
-        if m.proc is ProcessorKind.BLOCK
-    ]
+    blocks = sorted(
+        (
+            m
+            for m in spec.by_instance.values()
+            if m.proc is ProcessorKind.BLOCK
+        ),
+        key=lambda m: m.instance,
+    )
     return blocks[0] if blocks else None

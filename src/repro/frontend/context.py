@@ -12,6 +12,7 @@ static analysis of the paper possible.
 from __future__ import annotations
 
 import itertools
+import threading
 from typing import Any, Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.errors import TraceError, TunableError
@@ -28,8 +29,14 @@ from repro.sym import Var
 from repro.tensors.dtype import DType
 from repro.tensors.tensor import LogicalTensor, TensorRef
 
-_current_context: Optional["TraceContext"] = None
+# One active trace per *thread*: `api.compile_many` traces kernels from
+# a thread pool, so the tracer state must not be shared across threads.
+_tls = threading.local()
 _loop_counter = itertools.count()
+
+
+def _active_context() -> Optional["TraceContext"]:
+    return getattr(_tls, "context", None)
 
 
 class TraceContext:
@@ -92,11 +99,12 @@ class TraceContext:
 
 
 def _require_context() -> TraceContext:
-    if _current_context is None:
+    context = _active_context()
+    if context is None:
         raise TraceError(
             "this operation is only legal inside a task body being traced"
         )
-    return _current_context
+    return context
 
 
 def _require_inner(operation: str) -> TraceContext:
@@ -218,7 +226,6 @@ def trace_variant(
         tunables: tunable bindings from the mapping specification.
         registry: the task registry for launch resolution.
     """
-    global _current_context
     registry = registry or get_registry()
     if len(args) != len(variant.params):
         raise TraceError(
@@ -237,12 +244,12 @@ def trace_variant(
                 )
         bound.append(arg)
     ctx = TraceContext(variant, dict(tunables or {}), registry)
-    previous = _current_context
-    _current_context = ctx
+    previous = _active_context()
+    _tls.context = ctx
     try:
         variant.fn(*bound)
     finally:
-        _current_context = previous
+        _tls.context = previous
     if len(ctx.frames) != 1:
         raise TraceError(
             f"unbalanced loop frames tracing {variant.variant_name!r}; "

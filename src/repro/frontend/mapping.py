@@ -10,14 +10,64 @@ machine-visibility rules.
 
 from __future__ import annotations
 
+import enum
+import hashlib
+import types
 from dataclasses import dataclass, field
-from typing import Any, Dict, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, Optional, Sequence, Tuple
 
 from repro.errors import MappingError
 from repro.frontend.task import TaskRegistry, TaskVariant
 from repro.machine.machine import MachineModel
 from repro.machine.memory import MemoryKind
 from repro.machine.processor import ProcessorKind, depth_of
+
+
+def _function_key(fn: Callable) -> Any:
+    """A content key for a traced Python function.
+
+    Hashes the bytecode (recursing into nested code objects without
+    touching their id-bearing reprs) plus closure-cell contents and
+    default values, so redefining a task body — e.g. in a notebook,
+    reusing the same task/variant names, or parameterizing it through a
+    captured variable — changes the key even though the names match.
+    """
+
+    def code_key(code: types.CodeType) -> Any:
+        consts = tuple(
+            code_key(c) if isinstance(c, types.CodeType) else repr(c)
+            for c in code.co_consts
+        )
+        return (code.co_code.hex(), consts, code.co_names)
+
+    code = getattr(fn, "__code__", None)
+    if code is None:  # builtins / C callables: fall back to the name
+        return getattr(fn, "__qualname__", repr(fn))
+    closure = getattr(fn, "__closure__", None) or ()
+    cells = tuple(repr(cell.cell_contents) for cell in closure)
+    defaults = tuple(repr(d) for d in getattr(fn, "__defaults__", None) or ())
+    return (code_key(code), cells, defaults)
+
+
+def canonicalize(value: Any) -> Any:
+    """A deterministic, repr-stable view of a mapping-level value.
+
+    Dicts are sorted by key, sequences become tuples, and enum members
+    collapse to ``ClassName.MEMBER`` so the result is independent of
+    insertion order and interpreter session. Anything else falls back to
+    ``repr``.
+    """
+    if isinstance(value, enum.Enum):
+        return f"{type(value).__name__}.{value.name}"
+    if isinstance(value, dict):
+        return tuple(
+            (str(k), canonicalize(v)) for k, v in sorted(value.items())
+        )
+    if isinstance(value, (list, tuple)):
+        return tuple(canonicalize(v) for v in value)
+    if value is None or isinstance(value, (str, int, float, bool)):
+        return value
+    return repr(value)
 
 
 @dataclass
@@ -60,6 +110,27 @@ class TaskMapping:
             raise MappingError(
                 f"instance {self.instance!r}: pipeline depth must be >= 1"
             )
+
+    def content_key(self) -> Tuple[Any, ...]:
+        """A canonical, hashable view of every mapping decision.
+
+        Used by the compile cache: two ``TaskMapping`` objects with the
+        same content key produce identical compiler output (mapping
+        decisions can only affect performance, never correctness, but
+        they fully determine the generated kernel).
+        """
+        return (
+            self.instance,
+            self.variant,
+            canonicalize(self.proc),
+            canonicalize(self.mems),
+            canonicalize(self.tunables),
+            self.calls,
+            self.entrypoint,
+            self.warpspecialize,
+            self.pipeline,
+            self.smem_limit_bytes,
+        )
 
 
 class MappingSpec:
@@ -201,3 +272,73 @@ class MappingSpec:
         if mapping.smem_limit_bytes is not None:
             return mapping.smem_limit_bytes
         return self.machine.memory(MemoryKind.SHARED).capacity_bytes
+
+    # ------------------------------------------------------------------
+    def fingerprint(self) -> str:
+        """A content hash of the program, the mapping, and the machine.
+
+        Covers every mapping decision, the machine description, and the
+        *logical program itself* — the bodies of the task variants the
+        instances reference and of every registered external function —
+        so two different programs that happen to reuse instance/variant
+        names cannot collide in the compile cache. The hash is
+        recomputed from the *current* contents on every call, so
+        mutating a ``TaskMapping`` (or redefining a task body) after
+        building the spec changes the fingerprint.
+        """
+        machine = self.machine
+        machine_key = (
+            machine.name,
+            tuple((level.kind.name, level.count) for level in machine.levels),
+            tuple(
+                (
+                    kind.name,
+                    mem.capacity_bytes,
+                    mem.visible_from.name,
+                )
+                for kind, mem in sorted(
+                    machine.memories.items(), key=lambda kv: kv[0].name
+                )
+            ),
+            tuple(sorted(machine.specs.items())),
+        )
+        instance_keys = tuple(
+            self.by_instance[name].content_key()
+            for name in sorted(self.by_instance)
+        )
+        variant_keys = tuple(
+            (
+                variant.task_name,
+                variant.variant_name,
+                variant.kind,
+                variant.params,
+                tuple(sorted(
+                    (p, str(priv))
+                    for p, priv in variant.privileges.items()
+                )),
+                _function_key(variant.fn),
+            )
+            for variant in (
+                self.registry.variant(variant_name)
+                for variant_name in sorted(
+                    {m.variant for m in self.by_instance.values()}
+                )
+            )
+        )
+        external_keys = tuple(
+            (
+                ext.name,
+                ext.cost_kind,
+                ext.collective,
+                _function_key(ext.numpy_impl),
+                _function_key(ext.flops_fn) if ext.flops_fn else None,
+            )
+            for ext in (
+                self.registry.externals[name]
+                for name in sorted(self.registry.externals)
+            )
+        )
+        payload = repr(
+            (machine_key, instance_keys, variant_keys, external_keys)
+        ).encode()
+        return hashlib.sha256(payload).hexdigest()

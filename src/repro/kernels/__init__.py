@@ -11,7 +11,7 @@ specification for one kernel family:
   forward attention (Figure 14)
 """
 
-from repro.kernels.common import kernel_registry
+from repro.kernels.common import KernelBuild, kernel_registry
 from repro.kernels.gemm import build_gemm
 from repro.kernels.batched_gemm import build_batched_gemm
 from repro.kernels.dual_gemm import build_dual_gemm
@@ -20,6 +20,7 @@ from repro.kernels.flash_attention2 import build_flash_attention2
 from repro.kernels.flash_attention3 import build_flash_attention3
 
 __all__ = [
+    "KernelBuild",
     "kernel_registry",
     "build_gemm",
     "build_batched_gemm",

@@ -17,7 +17,8 @@ from repro.machine.processor import ProcessorKind
 from repro.tensors import f16, partition_by_blocks
 from repro.tensors.partition import squeeze
 from repro.kernels.common import kernel_registry
-from repro.kernels.gemm import KernelBuild, gemm_mappings
+from repro.kernels.common import KernelBuild
+from repro.kernels.gemm import gemm_mappings
 
 with use_registry(kernel_registry):
 
@@ -80,4 +81,12 @@ def build_batched_gemm(
         arg_dtypes=(f16, f16, f16),
         total_flops=flops,
         unique_dram_bytes=unique,
+        params={
+            "tile_m": tile_m,
+            "tile_n": tile_n,
+            "tile_k": tile_k,
+            "wgs": wgs,
+            "pipeline": pipeline,
+            "warpspecialize": warpspecialize,
+        },
     )

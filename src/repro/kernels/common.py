@@ -9,8 +9,12 @@ simulator.
 
 from __future__ import annotations
 
+from dataclasses import dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
 import numpy as np
 
+from repro.frontend.mapping import MappingSpec
 from repro.frontend.task import TaskRegistry
 from repro.frontend import external_function, task, use_registry
 from repro.frontend import Inner, Leaf, call_external, launch, prange, tunable
@@ -23,6 +27,36 @@ from repro.tensors import (
 
 #: The registry all paper kernels live in.
 kernel_registry = TaskRegistry()
+
+
+@dataclass
+class KernelBuild:
+    """A mapped kernel instantiation ready for the compiler.
+
+    Every ``build_*`` function in the kernel zoo returns one of these;
+    ``api.compile_kernel`` / ``api.compile_many`` consume them.
+
+    Attributes:
+        name: kernel name for reports and generated code.
+        spec: the validated mapping specification.
+        arg_shapes / arg_dtypes: one entry per entrypoint tensor
+            parameter.
+        total_flops / unique_dram_bytes: roofline inputs for the
+            simulator.
+        scalar_args: values for non-tensor entrypoint parameters,
+            forwarded to the compiler by default.
+        params: the mapping parameters this build was constructed with
+            (tile shapes, warpgroups, ...), for tuning reports.
+    """
+
+    name: str
+    spec: MappingSpec
+    arg_shapes: Tuple[Tuple[int, ...], ...]
+    arg_dtypes: Tuple
+    total_flops: float
+    unique_dram_bytes: float
+    scalar_args: Optional[Dict[str, Any]] = None
+    params: Dict[str, Any] = field(default_factory=dict)
 
 
 def _prod(shape) -> int:

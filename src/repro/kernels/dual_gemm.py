@@ -23,7 +23,8 @@ from repro.kernels.common import (
     copy_store_mapping,
     kernel_registry,
 )
-from repro.kernels.gemm import KernelBuild, gemm_mappings
+from repro.kernels.common import KernelBuild
+from repro.kernels.gemm import gemm_mappings
 
 with use_registry(kernel_registry):
 
@@ -108,4 +109,12 @@ def build_dual_gemm(
         arg_dtypes=(f16, f16, f16, f16),
         total_flops=flops,
         unique_dram_bytes=unique,
+        params={
+            "tile_m": tile_m,
+            "tile_n": tile_n,
+            "tile_k": tile_k,
+            "wgs": wgs,
+            "pipeline": pipeline,
+            "warpspecialize": warpspecialize,
+        },
     )

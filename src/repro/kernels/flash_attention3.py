@@ -32,7 +32,8 @@ from repro.kernels.common import (
     kernel_registry,
 )
 from repro.kernels.flash_attention2 import attention_support_mappings
-from repro.kernels.gemm import KernelBuild, gemm_tile_mappings
+from repro.kernels.common import KernelBuild
+from repro.kernels.gemm import gemm_tile_mappings
 
 with use_registry(kernel_registry):
 
@@ -187,4 +188,11 @@ def build_flash_attention3(
         arg_dtypes=(f16, f16, f16, f16),
         total_flops=flops,
         unique_dram_bytes=unique,
+        params={
+            "q_tile": q_tile,
+            "kv_tile": kv_tile,
+            "wgs": wgs,
+            "pipeline": pipeline,
+            "warpspecialize": warpspecialize,
+        },
     )

@@ -11,9 +11,6 @@ the Tensor Core.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Tuple
-
 from repro.frontend import Inner, Leaf, task, use_registry
 from repro.frontend import call_external, launch, make_tensor, prange, srange
 from repro.frontend import tunable
@@ -29,22 +26,11 @@ from repro.tensors import (
     partition_by_mma,
 )
 from repro.kernels.common import (
+    KernelBuild,
     clear_tree_mappings,
     copy_store_mapping,
     kernel_registry,
 )
-
-
-@dataclass
-class KernelBuild:
-    """A mapped kernel instantiation ready for the compiler."""
-
-    name: str
-    spec: MappingSpec
-    arg_shapes: Tuple[Tuple[int, ...], ...]
-    arg_dtypes: Tuple
-    total_flops: float
-    unique_dram_bytes: float
 
 
 with use_registry(kernel_registry):
@@ -281,4 +267,12 @@ def build_gemm(
         arg_dtypes=(f16, f16, f16),
         total_flops=flops,
         unique_dram_bytes=unique,
+        params={
+            "tile_m": tile_m,
+            "tile_n": tile_n,
+            "tile_k": tile_k,
+            "wgs": wgs,
+            "pipeline": pipeline,
+            "warpspecialize": warpspecialize,
+        },
     )

@@ -1,0 +1,28 @@
+"""Mapping autotuning (paper section 5.4, as a subsystem).
+
+The separation of logical program and mapping specification makes the
+search over mappings data: :class:`MappingSearchSpace` declares the
+candidate axes, and :func:`autotune` compiles candidates in parallel
+through the cached pass-manager pipeline and ranks them on the
+simulated GPU.
+
+    from repro.tuner import MappingSearchSpace, autotune
+    report = autotune(
+        lambda m, **p: build_gemm(m, 4096, 4096, 4096, **p),
+        hopper_machine(),
+        MappingSearchSpace(),
+    )
+    print(report.summary())
+    print(report.best.label())
+"""
+
+from repro.tuner.autotune import TuningReport, TuningResult, autotune
+from repro.tuner.search_space import MappingSearchSpace, wgmma_row_constraint
+
+__all__ = [
+    "MappingSearchSpace",
+    "TuningReport",
+    "TuningResult",
+    "autotune",
+    "wgmma_row_constraint",
+]

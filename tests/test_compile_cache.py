@@ -1,0 +1,234 @@
+"""Compile-cache behavior: hits, misses, and key sensitivity.
+
+The cache keys on content — mapping spec, argument shapes/dtypes,
+machine, compile options — so identical instantiations hit (executing
+zero passes) while any semantic difference, including mutating a spec
+in place after building it, misses.
+"""
+
+import pytest
+
+from repro import api
+from repro.compiler import CompileOptions, compile_cache, pass_execution_count
+from repro.kernels.gemm import build_gemm
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    api.clear_compile_cache()
+    yield
+    api.clear_compile_cache()
+
+
+def _build(hopper, **overrides):
+    params = dict(
+        m=256, n=256, k=128, tile_m=128, tile_n=256, tile_k=64
+    )
+    params.update(overrides)
+    return build_gemm(hopper, **params)
+
+
+class TestCacheHit:
+    def test_identical_instantiation_executes_no_passes(self, hopper):
+        first = api.compile_kernel(_build(hopper))
+        executed = pass_execution_count()
+        second = api.compile_kernel(_build(hopper))
+        assert pass_execution_count() == executed  # zero pass executions
+        assert second is first
+        stats = api.compile_cache_stats()
+        assert stats.hits == 1 and stats.misses == 1
+
+    def test_hit_preserves_simulated_result(self, hopper):
+        first = api.compile_kernel(_build(hopper))
+        second = api.compile_kernel(_build(hopper))
+        assert api.tflops(second, hopper) == api.tflops(first, hopper)
+
+
+class TestCacheMiss:
+    def test_different_shapes_miss(self, hopper):
+        api.compile_kernel(_build(hopper))
+        api.compile_kernel(_build(hopper, m=384, n=512, k=192))
+        assert api.compile_cache_stats().misses == 2
+
+    def test_different_mapping_misses(self, hopper):
+        api.compile_kernel(_build(hopper))
+        api.compile_kernel(_build(hopper, pipeline=4))
+        assert api.compile_cache_stats().misses == 2
+
+    def test_mutated_spec_misses(self, hopper):
+        build = _build(hopper)
+        first = api.compile_kernel(build)
+        # Mutating a mapping decision in place must invalidate the key:
+        # the fingerprint is recomputed from current spec contents.
+        build.spec.by_instance["gemm_block"].pipeline = 4
+        second = api.compile_kernel(build)
+        assert second is not first
+        assert api.compile_cache_stats().misses == 2
+        assert (
+            second.metadata["cache_key"] != first.metadata["cache_key"]
+        )
+
+    def test_different_scalar_args_miss(self, hopper):
+        api.compile_kernel(_build(hopper), scalar_args={"alpha": 1.0})
+        api.compile_kernel(_build(hopper), scalar_args={"alpha": 2.0})
+        assert api.compile_cache_stats().misses == 2
+
+    def test_use_tma_part_of_key(self, hopper):
+        api.compile_kernel(_build(hopper), use_tma=True)
+        api.compile_kernel(_build(hopper), use_tma=False)
+        assert api.compile_cache_stats().misses == 2
+
+    def test_verify_policy_part_of_key(self, hopper):
+        # A kernel cached without verification must not serve a caller
+        # asking for the verify-every-pass debug discipline.
+        unverified = api.compile_kernel(
+            _build(hopper), options=CompileOptions(verify="never")
+        )
+        strict = api.compile_kernel(_build(hopper))
+        assert strict is not unverified
+        assert strict.pass_trace.verified_after  # verification ran
+
+    def test_same_mapping_different_program_misses(self, hopper):
+        """Task bodies are part of the fingerprint, not just names."""
+        from repro.frontend import (
+            Inner, Leaf, MappingSpec, TaskMapping, TaskRegistry,
+            call_external, external_function, launch, task, use_registry,
+        )
+        from repro.machine.memory import MemoryKind
+        from repro.machine.processor import ProcessorKind
+        from repro.tensors import f16
+
+        def make_spec(fill_value):
+            reg = TaskRegistry()
+            with use_registry(reg):
+                @external_function("fill", cost_kind="simt")
+                def fill(x):
+                    x[...] = fill_value
+
+                @task("writer", Leaf, writes=["x"])
+                def writer_leaf(x):
+                    call_external("fill", x)
+
+                @task("prog", Inner, writes=["x"])
+                def prog_host(x):
+                    launch("writer", x)
+
+            return MappingSpec(
+                [
+                    TaskMapping(
+                        instance="prog", variant="prog_host",
+                        proc=ProcessorKind.HOST,
+                        mems=(MemoryKind.GLOBAL,),
+                        entrypoint=True, calls=("writer",),
+                    ),
+                    TaskMapping(
+                        instance="writer", variant="writer_leaf",
+                        proc=ProcessorKind.BLOCK,
+                        mems=(MemoryKind.GLOBAL,),
+                    ),
+                ],
+                reg,
+                hopper,
+            )
+
+        # Identical instance trees and names, different external bodies.
+        assert make_spec(0).fingerprint() != make_spec(1).fingerprint()
+        # Same program built twice still fingerprints identically.
+        assert make_spec(0).fingerprint() == make_spec(0).fingerprint()
+
+
+class TestCacheControl:
+    def test_cache_disabled_recompiles(self, hopper):
+        options = CompileOptions(cache=False)
+        first = api.compile_kernel(_build(hopper), options=options)
+        executed = pass_execution_count()
+        second = api.compile_kernel(_build(hopper), options=options)
+        assert second is not first
+        assert pass_execution_count() > executed
+        assert api.compile_cache_stats().lookups == 0
+
+    def test_clear_resets_entries_and_stats(self, hopper):
+        api.compile_kernel(_build(hopper))
+        assert len(compile_cache) == 1
+        api.clear_compile_cache()
+        assert len(compile_cache) == 0
+        assert api.compile_cache_stats().lookups == 0
+
+    def test_lru_eviction_bounds_entries(self, hopper):
+        from repro.compiler.cache import CompileCache
+
+        small = CompileCache(capacity=2)
+        small.put("a", 1)
+        small.put("b", 2)
+        small.put("c", 3)
+        assert len(small) == 2
+        assert "a" not in small and "b" in small and "c" in small
+        assert small.get("b") == 2  # refresh b
+        small.put("d", 4)
+        assert "c" not in small and "b" in small
+
+
+class TestCompileMany:
+    DEPTHS = (1, 2, 3, 4)
+
+    def _builds(self, hopper):
+        return [_build(hopper, pipeline=depth) for depth in self.DEPTHS]
+
+    def test_thread_pool_matches_sequential(self, hopper):
+        sequential = [
+            api.tflops(kernel, hopper)
+            for kernel in api.compile_many(
+                self._builds(hopper), executor="serial"
+            )
+        ]
+        api.clear_compile_cache()
+        parallel = [
+            api.tflops(kernel, hopper)
+            for kernel in api.compile_many(
+                self._builds(hopper), executor="thread", max_workers=4
+            )
+        ]
+        assert parallel == sequential
+
+    def test_order_preserved(self, hopper):
+        kernels = api.compile_many(self._builds(hopper), max_workers=4)
+        assert len(kernels) == len(self.DEPTHS)
+        depths = [kernel.warpspec.pipeline_depth for kernel in kernels]
+        assert depths == list(self.DEPTHS)
+
+    def test_duplicates_compile_once(self, hopper):
+        build = _build(hopper)
+        api.compile_kernel(build)  # populate
+        executed = pass_execution_count()
+        kernels = api.compile_many(
+            [_build(hopper) for _ in range(6)], max_workers=3
+        )
+        assert pass_execution_count() == executed
+        assert all(kernel is kernels[0] for kernel in kernels)
+
+    def test_concurrent_duplicates_deduped_in_flight(self, hopper):
+        """Simultaneous misses on one key run the pipeline only once."""
+        from repro.compiler import DEFAULT_PIPELINE
+
+        executed = pass_execution_count()
+        kernels = api.compile_many(
+            [_build(hopper) for _ in range(8)], max_workers=8
+        )
+        assert pass_execution_count() - executed == len(DEFAULT_PIPELINE)
+        assert all(kernel is kernels[0] for kernel in kernels)
+
+    def test_return_errors_captures_cypress_errors(self, hopper):
+        from repro.errors import CypressError
+
+        good = _build(hopper)
+        bad = _build(hopper)
+        bad.spec.by_instance["gemm_block"].smem_limit_bytes = 1024
+        results = api.compile_many([good, bad], return_errors=True)
+        assert not isinstance(results[0], CypressError)
+        assert isinstance(results[1], CypressError)
+
+    def test_unknown_executor_rejected(self, hopper):
+        from repro.errors import CypressError
+
+        with pytest.raises(CypressError, match="executor"):
+            api.compile_many([_build(hopper)], executor="fiber")
