@@ -1,0 +1,130 @@
+"""Serving-runtime benchmark: throughput, hit rates, restart warm-up.
+
+Drives a :class:`repro.runtime.RuntimeServer` through a mixed-shape
+workload twice — once cold (every bucket pays a compile) and once after
+a simulated process restart against the same persistent cache directory
+(every bucket loads from disk, zero passes executed) — and writes the
+serving trajectory to ``benchmarks/BENCH_runtime.json``: request
+throughput, per-tier hit rates, and the warm-restart speedup.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro import api
+from repro.kernels import build_gemm
+from repro.runtime import BucketPolicy, KernelRegistry, RuntimeServer
+
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
+
+#: Mixed request shapes collapsing onto 4 buckets.
+WORKLOAD = [
+    (m, n, k)
+    for m, n, k in [
+        (100, 200, 60),
+        (128, 256, 64),
+        (250, 250, 120),
+        (256, 256, 128),
+        (120, 250, 100),
+        (200, 256, 64),
+    ]
+    for _ in range(10)
+]
+
+
+def _registry() -> KernelRegistry:
+    registry = KernelRegistry()
+    registry.register(
+        "gemm",
+        build_gemm,
+        ("m", "n", "k"),
+        policy=BucketPolicy(
+            ladders={"m": (128, 256), "n": (256,), "k": (64, 128)}
+        ),
+        defaults=dict(tile_m=128, tile_n=256, tile_k=64),
+    )
+    return registry
+
+
+def _drive(machine, disk_dir) -> dict:
+    with RuntimeServer(
+        machine, _registry(), workers=4, disk_cache=str(disk_dir)
+    ) as server:
+        start = time.perf_counter()
+        futures = [
+            server.submit("gemm", dict(m=m, n=n, k=k))
+            for m, n, k in WORKLOAD
+        ]
+        results = [future.result(timeout=600) for future in futures]
+        wall_s = time.perf_counter() - start
+        stats = server.stats()
+    assert all(result.tflops > 0 for result in results)
+    tiers = stats.tier_counts
+    served = sum(tiers.values())
+    return {
+        "requests": len(results),
+        "wall_s": wall_s,
+        "throughput_rps": len(results) / wall_s,
+        "tier_counts": tiers,
+        "cache_hit_rate": (
+            (tiers["memory"] + tiers["disk"]) / served if served else 0.0
+        ),
+        "p50_latency_s": stats.p50_latency_s,
+        "p95_latency_s": stats.p95_latency_s,
+        "batches": stats.batches,
+        "max_batch_size": stats.max_batch_size,
+    }
+
+
+def test_runtime_serving_trajectory(machine, benchmark, tmp_path):
+    disk_dir = tmp_path / "kernels"
+
+    api.clear_compile_cache()
+    cold = _drive(machine, disk_dir)
+
+    # Simulated restart: memory cache gone, disk tier intact.
+    api.clear_compile_cache()
+    warm = _drive(machine, disk_dir)
+
+    speedup = cold["wall_s"] / warm["wall_s"] if warm["wall_s"] else 0.0
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workload": {
+            "kernel": "gemm",
+            "requests": len(WORKLOAD),
+            "distinct_shapes": len(set(WORKLOAD)),
+        },
+        "cold": cold,
+        "warm_restart": warm,
+        "warm_restart_speedup": speedup,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    print(
+        f"\ncold: {cold['throughput_rps']:.1f} req/s "
+        f"(hit rate {cold['cache_hit_rate'] * 100:.0f}%), "
+        f"warm restart: {warm['throughput_rps']:.1f} req/s "
+        f"(hit rate {warm['cache_hit_rate'] * 100:.0f}%), "
+        f"speedup x{speedup:.2f}"
+    )
+
+    # The restarted server compiles nothing: every bucket loads from
+    # disk, so the warm pass must not be slower than the cold one.
+    assert warm["tier_counts"]["compile"] == 0
+    assert warm["cache_hit_rate"] >= cold["cache_hit_rate"]
+
+    # Track steady-state (all-warm) single-request latency.
+    with RuntimeServer(
+        machine, _registry(), workers=1, disk_cache=str(disk_dir)
+    ) as server:
+        benchmark(
+            lambda: server.submit(
+                "gemm", dict(m=128, n=256, k=64)
+            ).result(timeout=600)
+        )
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

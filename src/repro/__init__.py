@@ -7,13 +7,23 @@ paper-vs-measured results.
 
 Entry points:
 
-- :mod:`repro.api` — compile / run / simulate / batch-compile.
+- :mod:`repro.api` — compile / run / simulate / batch-compile / serve.
+- :mod:`repro.runtime` — the async kernel-serving runtime
+  (shape-bucketed dispatch, persistent compile cache, telemetry).
 - :mod:`repro.tuner` — the parallel mapping autotuner.
 - :mod:`repro.kernels` — the paper's kernel zoo (GEMM family, attention).
 - :mod:`repro.machine` — H100 / A100 machine models.
 - :mod:`repro.baselines` — comparator system models.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
-__all__ = ["api", "kernels", "machine", "baselines", "tuner", "__version__"]
+__all__ = [
+    "api",
+    "kernels",
+    "machine",
+    "baselines",
+    "runtime",
+    "tuner",
+    "__version__",
+]

@@ -27,6 +27,14 @@ Batch + tuning::
                                            pipeline=d) for d in (1, 2, 3)])
     from repro.tuner import MappingSearchSpace, autotune
     report = autotune(build_gemm_at, machine, MappingSearchSpace())
+
+Serving (the long-lived layer over all of the above)::
+
+    with api.serve(machine, disk_cache=".repro-cache") as server:
+        server.warm("gemm", [dict(m=4096, n=4096, k=4096)], tune=True)
+        future = server.submit("gemm", dict(m=4000, n=4000, k=4000))
+        print(future.result().gpu.summary())
+        print(server.stats().table())
 """
 
 from __future__ import annotations
@@ -34,7 +42,8 @@ from __future__ import annotations
 import enum
 import functools
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
-from typing import Any, Dict, Iterable, List, Mapping, Optional, Union
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Union
 
 import numpy as np
 
@@ -46,6 +55,9 @@ from repro.gpusim.functional import interpret_function
 from repro.gpusim.gpu import GpuResult, simulate_kernel
 from repro.kernels.common import KernelBuild, kernel_registry
 from repro.machine.machine import MachineModel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: runtime uses api
+    from repro.runtime import KernelRegistry, RuntimeServer
 
 
 class Stage(str, enum.Enum):
@@ -99,20 +111,34 @@ def compile_kernel(
     )
 
 
+@dataclass
+class CompileFailure:
+    """One failed build in a ``compile_many`` batch: name + exception."""
+
+    name: str
+    error: CypressError
+
+    def __str__(self) -> str:
+        return f"{self.name}: {self.error}"
+
+
 def _compile_one(
     build: KernelBuild,
     use_tma: Optional[bool],
     options: Optional[CompileOptions],
-    return_errors: bool,
-) -> Union[CompiledKernel, CypressError]:
+    collect: bool,
+    legacy_errors: bool,
+) -> Union[CompiledKernel, CompileFailure, CypressError]:
     # Module-level (not a closure) so a process pool can pickle the
     # worker; the builds themselves must also be picklable for that.
-    if not return_errors:
+    if not collect:
         return compile_kernel(build, use_tma=use_tma, options=options)
     try:
         return compile_kernel(build, use_tma=use_tma, options=options)
     except CypressError as error:
-        return error
+        if legacy_errors:
+            return error
+        return CompileFailure(name=build.name, error=error)
 
 
 def compile_many(
@@ -122,8 +148,9 @@ def compile_many(
     use_tma: Optional[bool] = None,
     executor: str = "thread",
     max_workers: Optional[int] = None,
+    raise_on_error: bool = True,
     return_errors: bool = False,
-) -> List[Union[CompiledKernel, CypressError]]:
+) -> List[Union[CompiledKernel, CompileFailure, CypressError]]:
     """Batch-compile builds, preserving input order.
 
     Args:
@@ -133,17 +160,23 @@ def compile_many(
             cache), ``"process"`` (requires picklable builds), or
             ``"serial"``.
         max_workers: pool size; ``None`` uses the pool's default.
-        return_errors: when True, a build whose compilation raises a
-            :class:`CypressError` yields that error object in its slot
-            instead of aborting the whole batch (the autotuner relies on
-            this to keep sweeping past infeasible mappings).
+        raise_on_error: with the default ``True``, the first
+            :class:`CypressError` aborts the whole batch (the historical
+            behavior). With ``False``, a failing build yields a
+            :class:`CompileFailure` (build name + exception) in its slot
+            and the rest of the batch still compiles — the autotuner
+            relies on this to keep sweeping past infeasible mappings.
+        return_errors: legacy spelling of ``raise_on_error=False`` that
+            yields the raw :class:`CypressError` objects instead of
+            :class:`CompileFailure`; prefer ``raise_on_error=False``.
     """
     builds = list(builds)
     one = functools.partial(
         _compile_one,
         use_tma=use_tma,
         options=options,
-        return_errors=return_errors,
+        collect=return_errors or not raise_on_error,
+        legacy_errors=return_errors,
     )
     if executor == "serial":
         return [one(build) for build in builds]
@@ -198,10 +231,52 @@ def tflops(kernel: CompiledKernel, machine: MachineModel) -> float:
 
 
 def clear_compile_cache() -> None:
-    """Drop every cached kernel and reset the hit/miss counters."""
+    """Drop every in-memory cached kernel and reset the counters.
+
+    An attached persistent tier keeps its contents: a subsequent
+    compile of a previously seen instantiation warms from disk.
+    """
     compile_cache.clear()
 
 
 def compile_cache_stats() -> CacheStats:
-    """Hit/miss counters of the process-wide compile cache."""
+    """Counters of the process-wide compile cache: memory hits, misses,
+    second-tier (disk) hits, evictions, and the current capacity."""
     return compile_cache.stats
+
+
+def resize_compile_cache(capacity: int) -> None:
+    """Change the in-memory compile-cache capacity (evicts LRU overflow).
+
+    The initial capacity comes from the ``REPRO_COMPILE_CACHE_SIZE``
+    environment variable (default 256).
+    """
+    compile_cache.resize(capacity)
+
+
+def serve(
+    machine: MachineModel,
+    *,
+    registry: Optional["KernelRegistry"] = None,
+    workers: int = 2,
+    disk_cache: Optional[Any] = None,
+    max_batch: int = 8,
+    options: Optional[CompileOptions] = None,
+) -> "RuntimeServer":
+    """Start a :class:`~repro.runtime.RuntimeServer` on ``machine``.
+
+    The returned server is live (workers running) and is a context
+    manager; see :mod:`repro.runtime` for the full API. ``disk_cache``
+    names a directory for the persistent compile-cache tier, so a
+    restarted server warms from disk instead of recompiling.
+    """
+    from repro.runtime import RuntimeServer
+
+    return RuntimeServer(
+        machine,
+        registry,
+        workers=workers,
+        disk_cache=disk_cache,
+        max_batch=max_batch,
+        options=options,
+    )

@@ -25,7 +25,13 @@ common case in autotuning sweeps) executes no passes at all. The
 per-pass :class:`PassTrace` lands in ``CompiledKernel.metadata``.
 """
 
-from repro.compiler.cache import CompileCache, compile_cache, compile_key
+from repro.compiler.cache import (
+    CacheStats,
+    CompileCache,
+    SecondTier,
+    compile_cache,
+    compile_key,
+)
 from repro.compiler.passes import (
     DEFAULT_PIPELINE,
     PASS_REGISTRY,
@@ -40,9 +46,14 @@ from repro.compiler.passes import (
     pass_execution_count,
     register_pass,
 )
-from repro.compiler.pipeline import CompiledKernel, compile_program
+from repro.compiler.pipeline import (
+    CompiledKernel,
+    compile_key_for,
+    compile_program,
+)
 
 __all__ = [
+    "CacheStats",
     "CompileCache",
     "CompileOptions",
     "CompiledKernel",
@@ -53,10 +64,12 @@ __all__ = [
     "PassManager",
     "PassRecord",
     "PassTrace",
+    "SecondTier",
     "VerifyPolicy",
     "build_pass",
     "compile_cache",
     "compile_key",
+    "compile_key_for",
     "compile_program",
     "pass_execution_count",
     "register_pass",

@@ -1,4 +1,4 @@
-"""Content-keyed compile cache.
+"""Content-keyed compile cache with a pluggable persistent tier.
 
 A kernel compilation is a pure function of (mapping spec, argument
 shapes/dtypes, machine, compile options): the logical program is reached
@@ -10,13 +10,24 @@ benchmark runs — returns the previous :class:`CompiledKernel` without
 executing a single pass.
 
 The cache is a bounded LRU and is thread-safe: ``api.compile_many``
-hits it concurrently from a thread pool. Cached kernels are shared
-objects; treat them as immutable.
+hits it concurrently from a thread pool. Capacity defaults to the
+``REPRO_COMPILE_CACHE_SIZE`` environment variable (falling back to 256)
+and can be changed at runtime with :meth:`CompileCache.resize`.
+
+Below the in-memory LRU sits an optional **second tier**: any object
+with ``load(key) -> kernel | None`` and ``store(key, kernel)`` (see
+:class:`SecondTier`). The runtime attaches a persistent on-disk tier
+(:class:`repro.runtime.diskcache.DiskCacheTier`) so a restarted server
+warms from disk instead of recompiling; ``get_or_compute`` consults it
+on a memory miss and writes freshly compiled kernels through to it.
+
+Cached kernels are shared objects; treat them as immutable.
 """
 
 from __future__ import annotations
 
 import hashlib
+import os
 import threading
 from collections import OrderedDict
 from dataclasses import dataclass
@@ -25,17 +36,67 @@ from typing import Any, Optional, Sequence, Tuple
 from repro.frontend.mapping import MappingSpec, canonicalize
 from repro.tensors.dtype import DType
 
+#: Environment variable overriding the default in-memory capacity.
+CACHE_SIZE_ENV = "REPRO_COMPILE_CACHE_SIZE"
+
+#: Capacity used when the environment variable is unset.
+DEFAULT_CAPACITY = 256
+
+
+class SecondTier:
+    """Structural interface of a second cache tier (duck-typed).
+
+    Implementations must be thread-safe; ``load`` returns ``None`` on a
+    miss (including unreadable/corrupt entries — a second tier must
+    degrade to a recompile, never raise into the compile path).
+    """
+
+    def load(self, key: str) -> Optional[Any]:  # pragma: no cover
+        raise NotImplementedError
+
+    def store(self, key: str, kernel: Any) -> None:  # pragma: no cover
+        raise NotImplementedError
+
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters since the last ``clear``."""
+    """Counters since the last ``clear`` plus the current capacity.
+
+    ``hits`` are in-memory hits; ``second_tier_hits`` count lookups
+    answered by the attached persistent tier (disk); ``misses`` ran the
+    full pass pipeline. ``evictions`` counts LRU entries dropped because
+    the cache was over capacity (from ``put`` or ``resize``).
+    """
 
     hits: int = 0
     misses: int = 0
+    second_tier_hits: int = 0
+    evictions: int = 0
+    capacity: int = 0
 
     @property
     def lookups(self) -> int:
-        return self.hits + self.misses
+        return self.hits + self.misses + self.second_tier_hits
+
+    @property
+    def hit_rate(self) -> float:
+        served = self.hits + self.second_tier_hits
+        return served / self.lookups if self.lookups else 0.0
+
+
+def _capacity_from_env() -> int:
+    raw = os.environ.get(CACHE_SIZE_ENV)
+    if raw is None:
+        return DEFAULT_CAPACITY
+    try:
+        capacity = int(raw)
+    except ValueError:
+        raise ValueError(
+            f"{CACHE_SIZE_ENV}={raw!r} is not an integer"
+        ) from None
+    if capacity < 1:
+        raise ValueError(f"{CACHE_SIZE_ENV} must be >= 1, got {capacity}")
+    return capacity
 
 
 def compile_key(
@@ -76,18 +137,49 @@ def compile_key(
 
 
 class CompileCache:
-    """A bounded, thread-safe LRU of :class:`CompiledKernel` objects."""
+    """A bounded, thread-safe LRU of :class:`CompiledKernel` objects.
 
-    def __init__(self, capacity: int = 256):
+    ``capacity=None`` (the default) reads ``REPRO_COMPILE_CACHE_SIZE``
+    from the environment, falling back to 256.
+    """
+
+    def __init__(self, capacity: Optional[int] = None):
+        if capacity is None:
+            capacity = _capacity_from_env()
         if capacity < 1:
             raise ValueError("compile cache capacity must be >= 1")
         self.capacity = capacity
-        self.stats = CacheStats()
+        self.stats = CacheStats(capacity=capacity)
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self._lock = threading.Lock()
         self._in_flight: dict = {}
+        self._second_tier: Optional[SecondTier] = None
 
+    # ------------------------------------------------------------------
+    # Second tier
+    # ------------------------------------------------------------------
+    @property
+    def second_tier(self) -> Optional[SecondTier]:
+        return self._second_tier
+
+    def attach_second_tier(self, tier: SecondTier) -> Optional[SecondTier]:
+        """Install ``tier`` below the in-memory LRU; returns the old one."""
+        with self._lock:
+            previous, self._second_tier = self._second_tier, tier
+            return previous
+
+    def detach_second_tier(self) -> Optional[SecondTier]:
+        """Remove and return the attached second tier, if any."""
+        with self._lock:
+            tier, self._second_tier = self._second_tier, None
+            return tier
+
+    # ------------------------------------------------------------------
+    # Lookup / insert
+    # ------------------------------------------------------------------
     def get(self, key: str) -> Optional[Any]:
+        """In-memory lookup only (the second tier is consulted solely by
+        :meth:`get_or_compute`, which can populate memory on a tier hit)."""
         with self._lock:
             if key in self._entries:
                 self._entries.move_to_end(key)
@@ -98,24 +190,43 @@ class CompileCache:
 
     def put(self, key: str, kernel: Any) -> None:
         with self._lock:
-            self._entries[key] = kernel
-            self._entries.move_to_end(key)
+            self._put_locked(key, kernel)
+
+    def _put_locked(self, key: str, kernel: Any) -> None:
+        self._entries[key] = kernel
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.stats.evictions += 1
+
+    def resize(self, capacity: int) -> None:
+        """Change the in-memory capacity, evicting LRU overflow."""
+        if capacity < 1:
+            raise ValueError("compile cache capacity must be >= 1")
+        with self._lock:
+            self.capacity = capacity
+            self.stats.capacity = capacity
             while len(self._entries) > self.capacity:
                 self._entries.popitem(last=False)
+                self.stats.evictions += 1
 
     def get_or_compute(self, key: str, compute) -> Any:
-        """Return the cached kernel for ``key``, computing it at most
-        once across threads.
+        """Return the kernel for ``key``, computing it at most once
+        across threads.
 
+        Lookup order: in-memory LRU, then the attached second tier (a
+        tier hit is promoted into memory), then ``compute``. Freshly
+        computed kernels are written through to the second tier.
         Concurrent callers with the same key (a batch compilation with
         duplicate builds, overlapping tuning sweeps) serialize on a
         per-key lock: one runs ``compute``, the rest wait and take the
         result as a hit instead of re-running the pass pipeline.
         """
-        cached = self.get(key)
-        if cached is not None:
-            return cached
         with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
             key_lock = self._in_flight.setdefault(key, threading.Lock())
         with key_lock:
             with self._lock:
@@ -123,17 +234,32 @@ class CompileCache:
                     self._entries.move_to_end(key)
                     self.stats.hits += 1
                     return self._entries[key]
+                tier = self._second_tier
+            if tier is not None:
+                value = tier.load(key)
+                if value is not None:
+                    with self._lock:
+                        self.stats.second_tier_hits += 1
+                        self._put_locked(key, value)
+                        self._in_flight.pop(key, None)
+                    return value
+            with self._lock:
+                self.stats.misses += 1
             value = compute()
             self.put(key, value)
+            if tier is not None:
+                tier.store(key, value)
             with self._lock:
                 self._in_flight.pop(key, None)
             return value
 
     def clear(self) -> None:
+        """Drop in-memory entries and counters (the second tier keeps
+        its contents — persistent state survives a cache reset)."""
         with self._lock:
             self._entries.clear()
             self._in_flight.clear()
-            self.stats = CacheStats()
+            self.stats = CacheStats(capacity=self.capacity)
 
     def __len__(self) -> int:
         with self._lock:

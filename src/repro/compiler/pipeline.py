@@ -111,6 +111,27 @@ def compile_program(
     return compile_cache.get_or_compute(key, compute)
 
 
+def compile_key_for(build, options: Optional[CompileOptions] = None) -> str:
+    """The cache key :func:`compile_program` will use for ``build``.
+
+    Folds the build's ``scalar_args`` into ``options`` exactly the way
+    ``api.compile_kernel`` + ``compile_program`` do, so callers that
+    need the key without compiling (the serving runtime's cache-tier
+    attribution and explicit disk persistence) can never diverge from
+    the key the compile path caches under.
+    """
+    merged = _merge_options(options, build.scalar_args, None)
+    return compile_key(
+        build.spec,
+        build.name,
+        build.arg_shapes,
+        build.arg_dtypes,
+        build.total_flops,
+        build.unique_dram_bytes,
+        merged,
+    )
+
+
 def _merge_options(
     options: Optional[CompileOptions],
     scalar_args: Optional[Dict[str, Any]],

@@ -19,7 +19,19 @@ from repro.kernels.gemm_reduction import build_gemm_reduction
 from repro.kernels.flash_attention2 import build_flash_attention2
 from repro.kernels.flash_attention3 import build_flash_attention3
 
+#: Stable name -> builder for every kernel in the zoo; the serving
+#: runtime's default registry is generated from this table.
+KERNEL_BUILDERS = {
+    "gemm": build_gemm,
+    "batched_gemm": build_batched_gemm,
+    "dual_gemm": build_dual_gemm,
+    "gemm_reduction": build_gemm_reduction,
+    "flash_attention2": build_flash_attention2,
+    "flash_attention3": build_flash_attention3,
+}
+
 __all__ = [
+    "KERNEL_BUILDERS",
     "KernelBuild",
     "kernel_registry",
     "build_gemm",

@@ -1,0 +1,48 @@
+"""repro.runtime — the async kernel-serving layer.
+
+Where :mod:`repro.api` offers one-shot ``compile_kernel``/``simulate``
+calls, this package keeps compiled kernels alive and serves them:
+
+* :mod:`~repro.runtime.registry` — kernel builders registered under
+  stable names with declared shape signatures.
+* :mod:`~repro.runtime.bucketing` — shape bucketing, so a bounded set
+  of compiled kernels serves unbounded request shapes.
+* :mod:`~repro.runtime.server` — :class:`RuntimeServer`: async
+  ``submit`` returning futures, a priority-queue worker pool,
+  micro-batching of same-bucket requests, tuner-backed warm-up.
+* :mod:`~repro.runtime.diskcache` — the persistent compile-cache tier
+  beneath the in-memory LRU; restarts warm from disk.
+* :mod:`~repro.runtime.telemetry` — p50/p95 latency, per-tier hit
+  rates, queue depth, per-kernel throughput.
+
+Entry points: :class:`RuntimeServer` here, or :func:`repro.api.serve`.
+"""
+
+from repro.runtime.bucketing import Bucket, BucketPolicy
+from repro.runtime.diskcache import DiskCacheStats, DiskCacheTier
+from repro.runtime.registry import (
+    KernelRegistry,
+    RegisteredKernel,
+    default_registry,
+)
+from repro.runtime.server import RuntimeResult, RuntimeServer
+from repro.runtime.telemetry import (
+    KernelServingStats,
+    RuntimeStats,
+    Telemetry,
+)
+
+__all__ = [
+    "Bucket",
+    "BucketPolicy",
+    "DiskCacheStats",
+    "DiskCacheTier",
+    "KernelRegistry",
+    "KernelServingStats",
+    "RegisteredKernel",
+    "RuntimeResult",
+    "RuntimeServer",
+    "RuntimeStats",
+    "Telemetry",
+    "default_registry",
+]

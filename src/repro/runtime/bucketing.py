@@ -1,0 +1,111 @@
+"""Shape bucketing: a bounded kernel set serving unbounded shapes.
+
+A serving runtime cannot compile a kernel per request shape — the
+compile cache would churn and every novel shape would pay a cold
+compile. Instead each registered kernel declares named shape dimensions
+(``m``/``n``/``k`` for GEMM, ``heads``/``seq``/``head_dim`` for
+attention) and a :class:`BucketPolicy` that rounds every incoming
+dimension **up** to a configured ladder rung. All requests that round to
+the same :class:`Bucket` share one compiled kernel, so a handful of
+compilations serve arbitrary traffic; callers pad functional inputs to
+the bucket shape, the standard padded-serving contract.
+
+Rounding up (never down) keeps the bucketed kernel a superset of the
+requested problem. Shapes beyond the top rung round up to the next
+multiple of the largest rung, so the bucket set stays small for the
+configured range and degrades gracefully past it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Mapping, Sequence, Tuple
+
+from repro.errors import CypressError
+
+
+@dataclass(frozen=True)
+class Bucket:
+    """One rounded shape: an ordered tuple of (dimension, extent)."""
+
+    dims: Tuple[Tuple[str, int], ...]
+
+    def as_dict(self) -> Dict[str, int]:
+        return dict(self.dims)
+
+    def label(self) -> str:
+        return "x".join(f"{name}{extent}" for name, extent in self.dims)
+
+    def __iter__(self):
+        return iter(self.dims)
+
+
+def _round_pow2(value: int, floor: int) -> int:
+    rung = floor
+    while rung < value:
+        rung *= 2
+    return rung
+
+
+@dataclass(frozen=True)
+class BucketPolicy:
+    """Per-dimension rounding ladders.
+
+    Attributes:
+        ladders: dimension name -> ascending rung extents. A value
+            rounds up to the smallest rung >= it; values above the top
+            rung round up to the next multiple of that rung.
+        floor: fallback granule for dimensions without a ladder, which
+            round up to ``floor * 2^i`` (hardware tiles want
+            power-of-two-ish extents; 64 is the WGMMA row granule).
+    """
+
+    ladders: Mapping[str, Sequence[int]]
+    floor: int = 64
+
+    def __post_init__(self) -> None:
+        if self.floor < 1:
+            raise CypressError(
+                f"bucket floor must be >= 1, got {self.floor!r}"
+            )
+        for name, rungs in self.ladders.items():
+            if not rungs or list(rungs) != sorted(rungs) or rungs[0] < 1:
+                raise CypressError(
+                    f"bucket ladder for {name!r} must be a non-empty "
+                    f"ascending sequence of positive extents, got {rungs!r}"
+                )
+
+    def round_dim(self, name: str, value: int) -> int:
+        if not isinstance(value, int) or isinstance(value, bool) or value < 1:
+            raise CypressError(
+                f"shape dimension {name!r} must be a positive integer, "
+                f"got {value!r}"
+            )
+        rungs = self.ladders.get(name)
+        if rungs is None:
+            return _round_pow2(value, self.floor)
+        for rung in rungs:
+            if value <= rung:
+                return rung
+        top = rungs[-1]
+        return -(-value // top) * top
+
+    def bucket(self, shape: Mapping[str, int], dims: Sequence[str]) -> Bucket:
+        """Round ``shape`` (one extent per name in ``dims``) to a bucket."""
+        missing = [name for name in dims if name not in shape]
+        if missing:
+            raise CypressError(
+                f"request shape is missing dimension(s) "
+                f"{', '.join(repr(m) for m in missing)}; expected "
+                f"{tuple(dims)}"
+            )
+        unknown = set(shape) - set(dims)
+        if unknown:
+            raise CypressError(
+                f"request shape has unknown dimension(s) "
+                f"{', '.join(repr(u) for u in sorted(unknown))}; expected "
+                f"{tuple(dims)}"
+            )
+        return Bucket(
+            tuple((name, self.round_dim(name, shape[name])) for name in dims)
+        )

@@ -1,0 +1,124 @@
+"""The persistent compile-cache tier.
+
+:class:`DiskCacheTier` implements the :class:`~repro.compiler.cache.
+SecondTier` interface with one pickle file per compile key under a
+cache directory. Layered beneath the in-memory LRU it makes compiled
+kernels survive process restarts: a restarted server warms from disk
+(zero passes executed) instead of recompiling, the JIT-warm-up pattern
+long-lived runtimes rely on.
+
+Robustness contract: ``load`` never raises into the compile path. A
+truncated or otherwise unreadable pickle — a crash mid-write on a
+filesystem without atomic rename, bit rot, a stale format — counts as a
+corrupt miss, the offending file is deleted, and the caller recompiles
+(healing the entry via write-through). Writes go through a temp file
+and ``os.replace`` so concurrent readers never observe a partial entry.
+"""
+
+from __future__ import annotations
+
+import os
+import pickle
+import tempfile
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, List, Optional
+
+
+@dataclass
+class DiskCacheStats:
+    """Counters for the disk tier since construction or ``clear``."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    corrupt: int = 0
+    errors: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+class DiskCacheTier:
+    """One pickle file per compile key under ``path``."""
+
+    def __init__(self, path) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self.stats = DiskCacheStats()
+        self._lock = threading.Lock()
+
+    def _file(self, key: str) -> Path:
+        return self.path / f"{key}.pkl"
+
+    def contains(self, key: str) -> bool:
+        """Whether an entry exists on disk (it may still be corrupt)."""
+        return self._file(key).exists()
+
+    def load(self, key: str) -> Optional[Any]:
+        try:
+            with open(self._file(key), "rb") as handle:
+                kernel = pickle.load(handle)
+        except FileNotFoundError:
+            with self._lock:
+                self.stats.misses += 1
+            return None
+        except Exception:
+            # Truncated/garbled pickle, or an entry written by an
+            # incompatible version: drop it and fall back to recompile.
+            with self._lock:
+                self.stats.corrupt += 1
+                self.stats.misses += 1
+            try:
+                self._file(key).unlink()
+            except OSError:
+                pass
+            return None
+        with self._lock:
+            self.stats.hits += 1
+        return kernel
+
+    def store(self, key: str, kernel: Any) -> None:
+        try:
+            fd, tmp = tempfile.mkstemp(
+                dir=self.path, prefix=f".{key[:16]}.", suffix=".tmp"
+            )
+            try:
+                with os.fdopen(fd, "wb") as handle:
+                    pickle.dump(kernel, handle, pickle.HIGHEST_PROTOCOL)
+                os.replace(tmp, self._file(key))
+            except BaseException:
+                try:
+                    os.unlink(tmp)
+                except OSError:
+                    pass
+                raise
+        except Exception:
+            # A full disk or an unpicklable artifact must not take the
+            # serving path down; the entry is simply not persisted.
+            with self._lock:
+                self.stats.errors += 1
+            return
+        with self._lock:
+            self.stats.stores += 1
+
+    def keys(self) -> List[str]:
+        return sorted(p.stem for p in self.path.glob("*.pkl"))
+
+    def clear(self) -> None:
+        for entry in self.path.glob("*.pkl"):
+            try:
+                entry.unlink()
+            except OSError:
+                pass
+        with self._lock:
+            self.stats = DiskCacheStats()
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.path.glob("*.pkl"))

@@ -1,0 +1,192 @@
+"""The kernel registry: stable names -> builders + shape signatures.
+
+A :class:`KernelRegistry` maps a stable serving name (``"gemm"``,
+``"flash_attention2"``) to a :class:`RegisteredKernel`: the ``build_*``
+function from the kernel zoo, the ordered shape dimensions its requests
+must provide, default mapping parameters, the :class:`BucketPolicy`
+that rounds request shapes, and — for warm-up autotuning — a mapping
+search space plus an adapter translating search-space candidates into
+the builder's keyword arguments (attention builders spell their tiles
+``q_tile``/``kv_tile`` rather than ``tile_m``/``tile_n``).
+
+:func:`default_registry` returns a registry pre-populated with the
+paper's whole kernel zoo; servers can also register custom builders.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Optional, Tuple
+
+from repro.errors import CypressError
+from repro.kernels import KERNEL_BUILDERS, KernelBuild
+from repro.machine.machine import MachineModel
+from repro.runtime.bucketing import Bucket, BucketPolicy
+from repro.tuner import MappingSearchSpace
+
+#: candidate dict from a search space -> builder keyword arguments
+TuneAdapter = Callable[[Dict[str, Any]], Dict[str, Any]]
+
+
+def attention_tune_adapter(candidate: Dict[str, Any]) -> Dict[str, Any]:
+    """Map GEMM-style search axes onto attention builder knobs."""
+    return {
+        "q_tile": candidate["tile_m"],
+        "kv_tile": candidate["tile_n"],
+        "wgs": candidate["wgs"],
+        "pipeline": candidate["pipeline"],
+        "warpspecialize": candidate["warpspecialize"],
+    }
+
+
+@dataclass
+class RegisteredKernel:
+    """One servable kernel family.
+
+    Attributes:
+        name: the stable serving name.
+        builder: ``build_*(machine, <dims...>, **params) -> KernelBuild``.
+        dims: ordered shape-dimension names requests must provide.
+        policy: rounds request shapes to buckets.
+        defaults: mapping parameters applied to every build.
+        search_space: candidates for ``RuntimeServer.warm(tune=True)``.
+        tune_adapter: translates a candidate dict to builder kwargs
+            (identity when ``None``).
+    """
+
+    name: str
+    builder: Callable[..., KernelBuild]
+    dims: Tuple[str, ...]
+    policy: BucketPolicy
+    defaults: Dict[str, Any] = field(default_factory=dict)
+    search_space: Optional[MappingSearchSpace] = None
+    tune_adapter: Optional[TuneAdapter] = None
+
+    def bucket(self, shape) -> Bucket:
+        return self.policy.bucket(shape, self.dims)
+
+    def build(
+        self,
+        machine: MachineModel,
+        bucket: Bucket,
+        params: Optional[Dict[str, Any]] = None,
+    ) -> KernelBuild:
+        """Instantiate the builder at a bucket shape."""
+        kwargs = dict(self.defaults)
+        if params:
+            kwargs.update(params)
+        return self.builder(machine, **bucket.as_dict(), **kwargs)
+
+
+class KernelRegistry:
+    """Name -> :class:`RegisteredKernel`, the server's dispatch table."""
+
+    def __init__(self) -> None:
+        self._kernels: Dict[str, RegisteredKernel] = {}
+
+    def register(
+        self,
+        name: str,
+        builder: Callable[..., KernelBuild],
+        dims: Tuple[str, ...],
+        *,
+        policy: Optional[BucketPolicy] = None,
+        defaults: Optional[Dict[str, Any]] = None,
+        search_space: Optional[MappingSearchSpace] = None,
+        tune_adapter: Optional[TuneAdapter] = None,
+    ) -> RegisteredKernel:
+        if name in self._kernels:
+            raise CypressError(f"kernel {name!r} is already registered")
+        entry = RegisteredKernel(
+            name=name,
+            builder=builder,
+            dims=tuple(dims),
+            policy=policy or BucketPolicy(ladders={}),
+            defaults=dict(defaults or {}),
+            search_space=search_space,
+            tune_adapter=tune_adapter,
+        )
+        self._kernels[name] = entry
+        return entry
+
+    def get(self, name: str) -> RegisteredKernel:
+        try:
+            return self._kernels[name]
+        except KeyError:
+            known = ", ".join(sorted(self._kernels)) or "<none>"
+            raise CypressError(
+                f"unknown kernel {name!r}; registered kernels: {known}"
+            ) from None
+
+    def names(self):
+        return sorted(self._kernels)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._kernels
+
+    def __len__(self) -> int:
+        return len(self._kernels)
+
+
+#: Output-tile ladders for the GEMM family (matmul extents).
+_GEMM_MN = (256, 512, 1024, 2048, 4096, 8192)
+_GEMM_K = (128, 256, 512, 1024, 2048, 4096)
+_BATCH = (1, 2, 4, 8, 16, 32, 64)
+_HEADS = (1, 2, 4, 8, 16, 32, 64, 128)
+_SEQ = (256, 512, 1024, 2048, 4096, 8192, 16384)
+
+
+def _gemm_space() -> MappingSearchSpace:
+    return MappingSearchSpace(
+        tiles=((256, 256), (128, 256), (128, 128)),
+        pipeline_depths=(1, 2, 3),
+        warpgroups=(1, 2),
+        warpspecialize=(True, False),
+    )
+
+
+def _attention_space() -> MappingSearchSpace:
+    return MappingSearchSpace(
+        tiles=((128, 128), (128, 256)),
+        pipeline_depths=(1, 2, 3),
+        warpgroups=(1, 2),
+        warpspecialize=(True, False),
+    )
+
+
+def default_registry() -> KernelRegistry:
+    """A registry serving the paper's whole kernel zoo."""
+    registry = KernelRegistry()
+    gemm_policy = BucketPolicy(ladders={"m": _GEMM_MN, "n": _GEMM_MN,
+                                        "k": _GEMM_K})
+    attn_policy = BucketPolicy(
+        ladders={"heads": _HEADS, "seq": _SEQ, "head_dim": (128,)}
+    )
+    for name in ("gemm", "dual_gemm", "gemm_reduction"):
+        registry.register(
+            name,
+            KERNEL_BUILDERS[name],
+            ("m", "n", "k"),
+            policy=gemm_policy,
+            search_space=_gemm_space(),
+        )
+    registry.register(
+        "batched_gemm",
+        KERNEL_BUILDERS["batched_gemm"],
+        ("batch", "m", "n", "k"),
+        policy=BucketPolicy(
+            ladders={"batch": _BATCH, "m": _GEMM_MN, "n": _GEMM_MN,
+                     "k": _GEMM_K}
+        ),
+        search_space=_gemm_space(),
+    )
+    for name in ("flash_attention2", "flash_attention3"):
+        registry.register(
+            name,
+            KERNEL_BUILDERS[name],
+            ("heads", "seq", "head_dim"),
+            policy=attn_policy,
+            search_space=_attention_space(),
+            tune_adapter=attention_tune_adapter,
+        )
+    return registry

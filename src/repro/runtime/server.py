@@ -1,0 +1,497 @@
+"""The async kernel-serving runtime.
+
+:class:`RuntimeServer` turns the one-shot compile/simulate API into a
+long-lived serving layer. Requests name a registered kernel and a shape;
+``submit`` rounds the shape to a :class:`~repro.runtime.bucketing.
+Bucket`, enqueues the request on a priority queue, and returns a
+:class:`concurrent.futures.Future`. A pool of worker threads drains the
+queue, **micro-batching** same-bucket requests so one compile + one
+simulation serve the whole batch, and resolves each future with a
+:class:`RuntimeResult` (simulated timing, optional functional outputs,
+which cache tier produced the kernel).
+
+Compilation goes through the process-wide content-keyed
+:class:`~repro.compiler.cache.CompileCache`; when the server is given a
+``disk_cache`` directory it attaches a :class:`~repro.runtime.diskcache.
+DiskCacheTier` beneath it, so a restarted server warms from disk —
+zero passes executed — instead of recompiling. ``warm`` precompiles
+buckets ahead of traffic and can autotune each bucket's mapping with
+:func:`repro.tuner.autotune` first.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+import time
+import weakref
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.compiler.cache import compile_cache
+from repro.compiler.passes import CompileOptions
+from repro.compiler.pipeline import compile_key_for
+from repro.errors import CypressError
+from repro.gpusim.gpu import GpuResult
+from repro.machine.machine import MachineModel
+from repro.runtime.bucketing import Bucket
+from repro.runtime.diskcache import DiskCacheTier
+from repro.runtime.registry import (
+    KernelRegistry,
+    RegisteredKernel,
+    default_registry,
+)
+from repro.runtime.telemetry import (
+    TIER_COMPILE,
+    TIER_DISK,
+    TIER_MEMORY,
+    RuntimeStats,
+    Telemetry,
+)
+from repro.tuner import MappingSearchSpace, autotune
+
+ShapeLike = Union[Mapping[str, int], Sequence[int]]
+
+#: Tiers whose owning server has closed. A closing server must not
+#: reattach a predecessor's tier if that predecessor closed first
+#: (non-LIFO server shutdown would otherwise leave a dead tier
+#: installed on the process-wide cache forever).
+_RETIRED_TIERS: "weakref.WeakSet" = weakref.WeakSet()
+
+
+@dataclass
+class RuntimeResult:
+    """What a resolved request future carries.
+
+    ``gpu`` is the simulated execution of the *bucket* kernel (identical
+    to a direct ``compile_kernel`` + ``simulate`` of the bucket shape);
+    ``outputs`` are the functional results when the request carried
+    inputs. ``tier`` records which cache tier produced the compiled
+    kernel — ``"memory"``, ``"disk"``, or ``"compile"`` — and
+    ``batch_size`` how many requests shared this compile + simulation.
+    """
+
+    kernel: str
+    build_name: str
+    requested_shape: Dict[str, int]
+    bucket: Bucket
+    tier: str
+    batch_size: int
+    gpu: GpuResult
+    latency_s: float
+    outputs: Optional[Dict[str, np.ndarray]] = None
+    params: Optional[Dict[str, Any]] = None
+
+    @property
+    def tflops(self) -> float:
+        return self.gpu.tflops
+
+
+@dataclass(order=True)
+class _QueuedRequest:
+    """A heap entry; higher ``priority`` values are served first."""
+
+    sort_key: Tuple[int, int]
+    kernel: RegisteredKernel = field(compare=False)
+    shape: Dict[str, int] = field(compare=False)
+    bucket: Bucket = field(compare=False)
+    inputs: Optional[Mapping[str, np.ndarray]] = field(compare=False)
+    future: "Future[RuntimeResult]" = field(compare=False)
+    submitted_at: float = field(compare=False)
+
+    @property
+    def batch_key(self) -> Tuple[str, Bucket]:
+        return (self.kernel.name, self.bucket)
+
+
+class RuntimeServer:
+    """A long-lived, multi-threaded kernel-serving runtime.
+
+    Args:
+        machine: the machine model requests execute on.
+        registry: servable kernels; defaults to the full zoo
+            (:func:`~repro.runtime.registry.default_registry`).
+        workers: worker threads draining the request queue.
+        disk_cache: a directory path or :class:`DiskCacheTier` to attach
+            as the persistent compile-cache tier (``None`` disables it).
+        max_batch: micro-batch bound — how many same-bucket requests one
+            worker serves per compile + simulation.
+        options: compile options applied to every served kernel.
+        start: spawn workers immediately; ``start=False`` lets tests and
+            batch loaders enqueue before serving begins (call
+            :meth:`start`).
+
+    Use as a context manager for deterministic shutdown::
+
+        with RuntimeServer(machine, disk_cache="cache/") as server:
+            server.warm("gemm", [dict(m=4096, n=4096, k=4096)])
+            future = server.submit("gemm", dict(m=4000, n=4000, k=4000))
+            print(future.result().gpu.summary())
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        registry: Optional[KernelRegistry] = None,
+        *,
+        workers: int = 2,
+        disk_cache: Union[None, str, "DiskCacheTier"] = None,
+        max_batch: int = 8,
+        options: Optional[CompileOptions] = None,
+        start: bool = True,
+    ) -> None:
+        if workers < 1:
+            raise CypressError("RuntimeServer needs at least one worker")
+        if max_batch < 1:
+            raise CypressError("max_batch must be >= 1")
+        self.machine = machine
+        self.registry = registry if registry is not None else default_registry()
+        self.max_batch = max_batch
+        self._options = options or CompileOptions()
+        self._seq = itertools.count()
+        self._queue: List[_QueuedRequest] = []
+        self._cv = threading.Condition()
+        self._stopping = False
+        self._closed = False
+        self._threads: List[threading.Thread] = []
+        self._workers = workers
+        self._started = False
+        self._bucket_params: Dict[Tuple[str, Bucket], Dict[str, Any]] = {}
+        self.telemetry = Telemetry()
+        if disk_cache is None:
+            self.disk_tier: Optional[DiskCacheTier] = None
+        elif isinstance(disk_cache, DiskCacheTier):
+            self.disk_tier = disk_cache
+        else:
+            self.disk_tier = DiskCacheTier(disk_cache)
+        self._previous_tier = None
+        if self.disk_tier is not None:
+            self._previous_tier = compile_cache.attach_second_tier(
+                self.disk_tier
+            )
+            _RETIRED_TIERS.discard(self.disk_tier)
+        if start:
+            self.start()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> "RuntimeServer":
+        """Spawn the worker pool (idempotent)."""
+        if self._closed:
+            raise CypressError("RuntimeServer is closed")
+        if self._started:
+            return self
+        self._started = True
+        for index in range(self._workers):
+            thread = threading.Thread(
+                target=self._worker_loop,
+                name=f"repro-runtime-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+        return self
+
+    def close(self, drain: bool = True) -> None:
+        """Stop the server.
+
+        ``drain=True`` serves everything already queued first;
+        ``drain=False`` cancels queued requests (their futures report
+        cancellation). Detaches the disk tier it attached.
+        """
+        if self._closed:
+            return
+        self._closed = True
+        with self._cv:
+            self._stopping = True
+            if not drain:
+                for request in self._queue:
+                    request.future.cancel()
+                self._queue.clear()
+            self._cv.notify_all()
+        started = self._started
+        for thread in self._threads:
+            thread.join()
+        if not started:
+            # Never-started server: nothing will drain the queue.
+            with self._cv:
+                for request in self._queue:
+                    request.future.cancel()
+                self._queue.clear()
+        if self.disk_tier is not None:
+            _RETIRED_TIERS.add(self.disk_tier)
+            if compile_cache.second_tier is self.disk_tier:
+                compile_cache.detach_second_tier()
+                if (
+                    self._previous_tier is not None
+                    and self._previous_tier not in _RETIRED_TIERS
+                ):
+                    compile_cache.attach_second_tier(self._previous_tier)
+
+    def __enter__(self) -> "RuntimeServer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close(drain=True)
+
+    # ------------------------------------------------------------------
+    # Request intake
+    # ------------------------------------------------------------------
+    def _coerce_shape(
+        self, kernel: RegisteredKernel, shape: ShapeLike
+    ) -> Dict[str, int]:
+        if isinstance(shape, Mapping):
+            return dict(shape)
+        values = tuple(shape)
+        if len(values) != len(kernel.dims):
+            raise CypressError(
+                f"kernel {kernel.name!r} expects {len(kernel.dims)} "
+                f"dimensions {kernel.dims}, got {len(values)}"
+            )
+        return dict(zip(kernel.dims, values))
+
+    def submit(
+        self,
+        kernel: str,
+        shape: ShapeLike,
+        *,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        priority: int = 0,
+    ) -> "Future[RuntimeResult]":
+        """Enqueue one request; returns a future of :class:`RuntimeResult`.
+
+        Unknown kernel names and malformed shapes raise immediately in
+        the calling thread (the request never enters the queue). Higher
+        ``priority`` values are served first; ties are FIFO. ``inputs``
+        (numpy arrays padded to the bucket shape) additionally run the
+        kernel functionally and land in ``RuntimeResult.outputs``.
+        """
+        registered = self.registry.get(kernel)
+        shape_dict = self._coerce_shape(registered, shape)
+        bucket = registered.bucket(shape_dict)
+        request = _QueuedRequest(
+            sort_key=(-priority, next(self._seq)),
+            kernel=registered,
+            shape=shape_dict,
+            bucket=bucket,
+            inputs=inputs,
+            future=Future(),
+            submitted_at=time.perf_counter(),
+        )
+        with self._cv:
+            # Checked under the lock: a request enqueued after close()
+            # drained the queue would never resolve.
+            if self._closed or self._stopping:
+                raise CypressError("RuntimeServer is closed")
+            self.telemetry.record_submit()
+            heapq.heappush(self._queue, request)
+            self._cv.notify()
+        return request.future
+
+    def submit_many(
+        self,
+        requests: Iterable[Tuple[str, ShapeLike]],
+        *,
+        priority: int = 0,
+    ) -> List["Future[RuntimeResult]"]:
+        """Enqueue a batch of ``(kernel, shape)`` pairs; an empty batch
+        is a no-op returning ``[]``."""
+        return [
+            self.submit(kernel, shape, priority=priority)
+            for kernel, shape in requests
+        ]
+
+    # ------------------------------------------------------------------
+    # Warm-up
+    # ------------------------------------------------------------------
+    def warm(
+        self,
+        kernel: str,
+        buckets: Iterable[ShapeLike],
+        *,
+        tune: bool = False,
+        space: Optional[MappingSearchSpace] = None,
+        max_workers: Optional[int] = None,
+    ) -> Dict[str, str]:
+        """Precompile (and optionally autotune) the given buckets.
+
+        Each shape in ``buckets`` is rounded by the kernel's bucket
+        policy and compiled ahead of traffic, populating both cache
+        tiers. With ``tune=True`` the kernel's mapping search space (or
+        ``space``) is swept with :func:`repro.tuner.autotune` first and
+        the winning mapping parameters are pinned for that bucket — all
+        subsequent requests in the bucket are served by the tuned
+        kernel. Returns ``{bucket label: compiled kernel name}``.
+        """
+        registered = self.registry.get(kernel)
+        warmed: Dict[str, str] = {}
+        for shape in buckets:
+            bucket = registered.bucket(
+                self._coerce_shape(registered, shape)
+            )
+            if tune:
+                self._tune_bucket(registered, bucket, space, max_workers)
+            compiled, _tier, key = self._obtain_kernel(registered, bucket)
+            if self.disk_tier is not None and not self.disk_tier.contains(
+                key
+            ):
+                # A memory hit skips write-through; persist explicitly so
+                # a restart can warm from disk regardless.
+                self.disk_tier.store(key, compiled)
+            warmed[bucket.label()] = compiled.name
+        return warmed
+
+    def _tune_bucket(
+        self,
+        registered: RegisteredKernel,
+        bucket: Bucket,
+        space: Optional[MappingSearchSpace],
+        max_workers: Optional[int],
+    ) -> None:
+        space = space or registered.search_space
+        if space is None:
+            raise CypressError(
+                f"kernel {registered.name!r} has no mapping search space; "
+                "register one or pass space= to warm(tune=True)"
+            )
+        adapt = registered.tune_adapter or (lambda candidate: candidate)
+
+        def build_fn(machine: MachineModel, **candidate):
+            return registered.build(machine, bucket, params=adapt(candidate))
+
+        report = autotune(
+            build_fn,
+            self.machine,
+            space,
+            max_workers=max_workers,
+        )
+        best = report.best  # raises CypressError if nothing was feasible
+        self._bucket_params[(registered.name, bucket)] = adapt(
+            best.candidate
+        )
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def _obtain_kernel(
+        self, registered: RegisteredKernel, bucket: Bucket
+    ) -> Tuple[Any, str, str]:
+        """Compile (or fetch) the bucket's kernel; returns
+        ``(kernel, tier, compile_key)``."""
+        from repro import api
+
+        params = self._bucket_params.get((registered.name, bucket))
+        build = registered.build(self.machine, bucket, params)
+        key = compile_key_for(build, self._options)
+        # Tier attribution is advisory (another thread may compile the
+        # same key concurrently); the compile itself always goes through
+        # get_or_compute, which deduplicates.
+        if key in compile_cache:
+            tier = TIER_MEMORY
+        elif self.disk_tier is not None and self.disk_tier.contains(key):
+            tier = TIER_DISK
+        else:
+            tier = TIER_COMPILE
+        kernel = api.compile_kernel(build, options=self._options)
+        return kernel, tier, key
+
+    def _worker_loop(self) -> None:
+        while True:
+            with self._cv:
+                while not self._queue and not self._stopping:
+                    self._cv.wait()
+                if not self._queue:
+                    return
+                request = heapq.heappop(self._queue)
+                batch = [request]
+                if self.max_batch > 1 and self._queue:
+                    same = sorted(
+                        (
+                            other
+                            for other in self._queue
+                            if other.batch_key == request.batch_key
+                        )
+                    )[: self.max_batch - 1]
+                    if same:
+                        chosen = set(map(id, same))
+                        self._queue = [
+                            other
+                            for other in self._queue
+                            if id(other) not in chosen
+                        ]
+                        heapq.heapify(self._queue)
+                        batch.extend(same)
+            self._execute_batch(batch)
+
+    def _execute_batch(self, batch: List[_QueuedRequest]) -> None:
+        live = [
+            request
+            for request in batch
+            if request.future.set_running_or_notify_cancel()
+        ]
+        if not live:
+            return
+        self.telemetry.record_batch(len(live))
+        head = live[0]
+        try:
+            kernel, tier, _key = self._obtain_kernel(
+                head.kernel, head.bucket
+            )
+            from repro import api
+
+            gpu = api.simulate(kernel, self.machine)
+        except Exception as error:
+            self.telemetry.record_failure(len(live))
+            for request in live:
+                request.future.set_exception(error)
+            return
+        params = self._bucket_params.get(head.batch_key)
+        for request in live:
+            try:
+                outputs = None
+                if request.inputs is not None:
+                    from repro import api
+
+                    outputs = api.run_functional(
+                        kernel, dict(request.inputs)
+                    )
+                latency = time.perf_counter() - request.submitted_at
+                result = RuntimeResult(
+                    kernel=request.kernel.name,
+                    build_name=kernel.name,
+                    requested_shape=dict(request.shape),
+                    bucket=request.bucket,
+                    tier=tier,
+                    batch_size=len(live),
+                    gpu=gpu,
+                    latency_s=latency,
+                    outputs=outputs,
+                    params=dict(params) if params else None,
+                )
+                self.telemetry.record_result(
+                    request.kernel.name, latency, tier, gpu.tflops
+                )
+                request.future.set_result(result)
+            except Exception as error:
+                self.telemetry.record_failure()
+                request.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats(self) -> RuntimeStats:
+        """A frozen telemetry snapshot (latency percentiles, tier hit
+        rates, queue depth, per-kernel throughput)."""
+        with self._cv:
+            depth = len(self._queue)
+        return self.telemetry.snapshot(queue_depth=depth)
+
+    @property
+    def queue_depth(self) -> int:
+        with self._cv:
+            return len(self._queue)

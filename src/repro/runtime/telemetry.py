@@ -1,0 +1,191 @@
+"""Serving telemetry: latency percentiles, tier hit rates, throughput.
+
+The server feeds a thread-safe :class:`Telemetry` collector with one
+record per completed request (latency, which cache tier produced the
+kernel, micro-batch size, simulated throughput). :meth:`Telemetry.
+snapshot` freezes it into a :class:`RuntimeStats` value object with
+p50/p95 latency, per-tier hit rates, queue depth, and per-kernel
+request throughput — the numbers a serving dashboard would scrape, and
+what ``RuntimeStats.table()`` renders for humans.
+
+Latencies are kept in bounded per-kernel windows (the most recent
+``window`` observations) so a long-lived server's telemetry stays O(1)
+in memory; counters are exact over the whole lifetime.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence
+
+#: The cache tier that produced a request's kernel.
+TIER_MEMORY = "memory"
+TIER_DISK = "disk"
+TIER_COMPILE = "compile"
+TIERS = (TIER_MEMORY, TIER_DISK, TIER_COMPILE)
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    if not values:
+        return 0.0
+    ordered = sorted(values)
+    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
+    if q <= 0:
+        rank = 0
+    return ordered[rank]
+
+
+@dataclass
+class KernelServingStats:
+    """Per-kernel serving numbers in one snapshot."""
+
+    requests: int
+    p50_latency_s: float
+    p95_latency_s: float
+    throughput_rps: float
+    mean_tflops: float
+
+
+@dataclass
+class RuntimeStats:
+    """A frozen view of the server's health at snapshot time."""
+
+    uptime_s: float
+    requests: int
+    completed: int
+    failed: int
+    queue_depth: int
+    batches: int
+    max_batch_size: int
+    tier_counts: Dict[str, int]
+    p50_latency_s: float
+    p95_latency_s: float
+    per_kernel: Dict[str, KernelServingStats] = field(default_factory=dict)
+
+    @property
+    def throughput_rps(self) -> float:
+        return self.completed / self.uptime_s if self.uptime_s > 0 else 0.0
+
+    def tier_rate(self, tier: str) -> float:
+        total = sum(self.tier_counts.values())
+        return self.tier_counts.get(tier, 0) / total if total else 0.0
+
+    def table(self) -> str:
+        """A human-readable dashboard, one kernel per row."""
+        lines = [
+            f"runtime: {self.completed}/{self.requests} served "
+            f"({self.failed} failed) in {self.uptime_s:.2f}s "
+            f"-> {self.throughput_rps:.1f} req/s, queue depth "
+            f"{self.queue_depth}",
+            f"latency: p50 {self.p50_latency_s * 1e3:.2f} ms, "
+            f"p95 {self.p95_latency_s * 1e3:.2f} ms; "
+            f"batches {self.batches} (max size {self.max_batch_size})",
+            "tiers:   "
+            + ", ".join(
+                f"{tier} {self.tier_counts.get(tier, 0)} "
+                f"({self.tier_rate(tier) * 100.0:.0f}%)"
+                for tier in TIERS
+            ),
+            f"{'kernel':<22}{'reqs':>6}{'p50 ms':>9}{'p95 ms':>9}"
+            f"{'req/s':>8}{'TFLOP/s':>9}",
+        ]
+        for name in sorted(self.per_kernel):
+            k = self.per_kernel[name]
+            lines.append(
+                f"{name:<22}{k.requests:>6}"
+                f"{k.p50_latency_s * 1e3:>9.2f}"
+                f"{k.p95_latency_s * 1e3:>9.2f}"
+                f"{k.throughput_rps:>8.1f}"
+                f"{k.mean_tflops:>9.1f}"
+            )
+        return "\n".join(lines)
+
+
+class _KernelWindow:
+    __slots__ = ("requests", "latencies", "tflops_sum")
+
+    def __init__(self, window: int) -> None:
+        self.requests = 0
+        self.latencies: deque = deque(maxlen=window)
+        self.tflops_sum = 0.0
+
+
+class Telemetry:
+    """The live, thread-safe collector behind ``RuntimeServer.stats()``."""
+
+    def __init__(self, window: int = 2048) -> None:
+        self._window = window
+        self._lock = threading.Lock()
+        self._started = time.perf_counter()
+        self._submitted = 0
+        self._completed = 0
+        self._failed = 0
+        self._batches = 0
+        self._max_batch = 0
+        self._tiers: Dict[str, int] = {tier: 0 for tier in TIERS}
+        self._kernels: Dict[str, _KernelWindow] = {}
+
+    def record_submit(self, count: int = 1) -> None:
+        with self._lock:
+            self._submitted += count
+
+    def record_batch(self, size: int) -> None:
+        with self._lock:
+            self._batches += 1
+            self._max_batch = max(self._max_batch, size)
+
+    def record_result(
+        self, kernel: str, latency_s: float, tier: str, tflops: float
+    ) -> None:
+        with self._lock:
+            self._completed += 1
+            self._tiers[tier] = self._tiers.get(tier, 0) + 1
+            window = self._kernels.get(kernel)
+            if window is None:
+                window = self._kernels[kernel] = _KernelWindow(self._window)
+            window.requests += 1
+            window.latencies.append(latency_s)
+            window.tflops_sum += tflops
+
+    def record_failure(self, count: int = 1) -> None:
+        with self._lock:
+            self._failed += count
+
+    def snapshot(self, queue_depth: int = 0) -> RuntimeStats:
+        with self._lock:
+            uptime = time.perf_counter() - self._started
+            all_latencies: List[float] = []
+            per_kernel: Dict[str, KernelServingStats] = {}
+            for name, window in self._kernels.items():
+                latencies = list(window.latencies)
+                all_latencies.extend(latencies)
+                per_kernel[name] = KernelServingStats(
+                    requests=window.requests,
+                    p50_latency_s=percentile(latencies, 50),
+                    p95_latency_s=percentile(latencies, 95),
+                    throughput_rps=(
+                        window.requests / uptime if uptime > 0 else 0.0
+                    ),
+                    mean_tflops=(
+                        window.tflops_sum / window.requests
+                        if window.requests
+                        else 0.0
+                    ),
+                )
+            return RuntimeStats(
+                uptime_s=uptime,
+                requests=self._submitted,
+                completed=self._completed,
+                failed=self._failed,
+                queue_depth=queue_depth,
+                batches=self._batches,
+                max_batch_size=self._max_batch,
+                tier_counts=dict(self._tiers),
+                p50_latency_s=percentile(all_latencies, 50),
+                p95_latency_s=percentile(all_latencies, 95),
+                per_kernel=per_kernel,
+            )

@@ -145,11 +145,11 @@ def autotune(
         options=options,
         executor=executor,
         max_workers=max_workers,
-        return_errors=True,
+        raise_on_error=False,
     )
     for index, kernel in zip(build_slots, kernels):
-        if isinstance(kernel, CypressError):
-            results[index].error = str(kernel)
+        if isinstance(kernel, api.CompileFailure):
+            results[index].error = str(kernel.error)
             continue
         results[index].tflops = api.simulate(
             kernel, simulate_machine

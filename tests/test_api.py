@@ -115,3 +115,44 @@ class TestDeterministicBlockInstance:
         build.spec.by_instance.clear()
         build.spec.by_instance.update(reversed_order)
         assert _block_instance(build.spec).instance == chosen.instance
+
+
+class TestCompileManyFailures:
+    """Per-kernel failure collection (raise_on_error=False)."""
+
+    def _good(self, hopper):
+        return build_gemm(
+            hopper, 256, 256, 128, tile_m=128, tile_n=256, tile_k=64
+        )
+
+    def _bad(self, hopper):
+        # Survives building but fails in the compiler: 192-row tiles
+        # cannot be partitioned for the 64-row WGMMA granule.
+        return build_gemm(
+            hopper, 256, 256, 128, tile_m=192, tile_n=128, tile_k=64
+        )
+
+    def test_default_raises_on_first_failure(self, hopper):
+        with pytest.raises(CypressError):
+            api.compile_many([self._good(hopper), self._bad(hopper)])
+
+    @pytest.mark.parametrize("executor", ["thread", "serial"])
+    def test_failures_collected_with_name_and_error(self, hopper, executor):
+        results = api.compile_many(
+            [self._good(hopper), self._bad(hopper), self._good(hopper)],
+            raise_on_error=False,
+            executor=executor,
+        )
+        assert results[0].name == "gemm_256x256x128"
+        assert results[0] is results[2]  # cache dedupes the good pair
+        failure = results[1]
+        assert isinstance(failure, api.CompileFailure)
+        assert failure.name == "gemm_256x256x128"
+        assert isinstance(failure.error, CypressError)
+        assert "gemm_256x256x128" in str(failure)
+
+    def test_legacy_return_errors_still_yields_raw_errors(self, hopper):
+        results = api.compile_many(
+            [self._bad(hopper)], return_errors=True
+        )
+        assert isinstance(results[0], CypressError)

@@ -232,3 +232,141 @@ class TestCompileMany:
 
         with pytest.raises(CypressError, match="executor"):
             api.compile_many([_build(hopper)], executor="fiber")
+
+
+class TestCapacityControls:
+    def test_env_var_sets_default_capacity(self, monkeypatch):
+        from repro.compiler.cache import CompileCache
+
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "7")
+        cache = CompileCache()
+        assert cache.capacity == 7
+        assert cache.stats.capacity == 7
+
+    def test_env_var_unset_uses_default(self, monkeypatch):
+        from repro.compiler.cache import DEFAULT_CAPACITY, CompileCache
+
+        monkeypatch.delenv("REPRO_COMPILE_CACHE_SIZE", raising=False)
+        assert CompileCache().capacity == DEFAULT_CAPACITY
+
+    @pytest.mark.parametrize("raw", ["zero", "0", "-3"])
+    def test_bad_env_var_rejected(self, monkeypatch, raw):
+        from repro.compiler.cache import CompileCache
+
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", raw)
+        with pytest.raises(ValueError, match="REPRO_COMPILE_CACHE_SIZE"):
+            CompileCache()
+
+    def test_explicit_capacity_beats_env(self, monkeypatch):
+        from repro.compiler.cache import CompileCache
+
+        monkeypatch.setenv("REPRO_COMPILE_CACHE_SIZE", "7")
+        assert CompileCache(capacity=3).capacity == 3
+
+    def test_resize_down_evicts_lru(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=4)
+        for key in "abcd":
+            cache.put(key, key.upper())
+        cache.resize(2)
+        assert len(cache) == 2
+        assert "a" not in cache and "b" not in cache
+        assert "c" in cache and "d" in cache
+        assert cache.stats.evictions == 2
+        assert cache.stats.capacity == 2
+        cache.resize(8)
+        assert cache.capacity == 8
+
+    def test_put_overflow_counts_evictions(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=2)
+        for key in "abc":
+            cache.put(key, 1)
+        assert cache.stats.evictions == 1
+
+    def test_clear_preserves_capacity_in_stats(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=5)
+        cache.put("a", 1)
+        cache.clear()
+        assert cache.stats.capacity == 5
+        assert cache.stats.evictions == 0
+
+    def test_global_resize_via_api(self):
+        previous = compile_cache.capacity
+        try:
+            api.resize_compile_cache(13)
+            assert api.compile_cache_stats().capacity == 13
+        finally:
+            api.resize_compile_cache(previous)
+
+
+class _DictTier:
+    """An in-memory stand-in for the disk tier."""
+
+    def __init__(self):
+        self.entries = {}
+        self.loads = 0
+        self.stores = 0
+
+    def load(self, key):
+        self.loads += 1
+        return self.entries.get(key)
+
+    def store(self, key, kernel):
+        self.stores += 1
+        self.entries[key] = kernel
+
+
+class TestSecondTier:
+    def test_miss_consults_tier_and_promotes(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=4)
+        tier = _DictTier()
+        tier.entries["k"] = "kernel"
+        cache.attach_second_tier(tier)
+        value = cache.get_or_compute("k", lambda: pytest.fail("computed"))
+        assert value == "kernel"
+        assert cache.stats.second_tier_hits == 1
+        assert cache.stats.misses == 0
+        # Promoted into memory: the next lookup never touches the tier.
+        assert cache.get_or_compute("k", lambda: None) == "kernel"
+        assert tier.loads == 1
+        assert cache.stats.hits == 1
+
+    def test_compute_writes_through(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=4)
+        tier = _DictTier()
+        cache.attach_second_tier(tier)
+        value = cache.get_or_compute("k", lambda: "fresh")
+        assert value == "fresh"
+        assert tier.entries["k"] == "fresh"
+        assert cache.stats.misses == 1
+
+    def test_detach_restores_memory_only(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=4)
+        tier = _DictTier()
+        cache.attach_second_tier(tier)
+        assert cache.detach_second_tier() is tier
+        cache.get_or_compute("k", lambda: "fresh")
+        assert tier.stores == 0
+
+    def test_memory_eviction_leaves_tier_copy(self):
+        from repro.compiler.cache import CompileCache
+
+        cache = CompileCache(capacity=1)
+        tier = _DictTier()
+        cache.attach_second_tier(tier)
+        cache.get_or_compute("a", lambda: "A")
+        cache.get_or_compute("b", lambda: "B")  # evicts a from memory
+        assert "a" not in cache
+        assert cache.get_or_compute("a", lambda: pytest.fail("computed")) == "A"
+        assert cache.stats.second_tier_hits == 1

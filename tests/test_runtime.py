@@ -1,0 +1,477 @@
+"""The serving runtime: registry, bucketing, dispatch, disk tier.
+
+Uses a purpose-built registry with small GEMM shapes so every compile
+is fast; the acceptance-style round-trip test checks the full story:
+register -> warm -> mixed-shape traffic -> results identical to direct
+``compile_kernel`` + ``simulate``, with shape-bucket (memory) hits, and
+after a simulated restart a disk-tier hit that executes zero passes.
+"""
+
+import threading
+
+import numpy as np
+import pytest
+
+from repro import api
+from repro.compiler import pass_execution_count
+from repro.errors import CypressError
+from repro.kernels import build_gemm
+from repro.runtime import (
+    Bucket,
+    BucketPolicy,
+    DiskCacheTier,
+    KernelRegistry,
+    RuntimeServer,
+    default_registry,
+)
+from repro.tuner import MappingSearchSpace
+
+SMALL = dict(tile_m=128, tile_n=256, tile_k=64)
+
+
+@pytest.fixture(autouse=True)
+def fresh_cache():
+    api.clear_compile_cache()
+    yield
+    api.clear_compile_cache()
+
+
+@pytest.fixture()
+def registry():
+    reg = KernelRegistry()
+    reg.register(
+        "gemm",
+        build_gemm,
+        ("m", "n", "k"),
+        policy=BucketPolicy(
+            ladders={"m": (128, 256), "n": (256,), "k": (64, 128)}
+        ),
+        defaults=dict(SMALL),
+    )
+    return reg
+
+
+def _direct(hopper, m, n, k):
+    build = build_gemm(hopper, m, n, k, **SMALL)
+    return api.simulate(api.compile_kernel(build), hopper)
+
+
+class TestBucketPolicy:
+    def test_rounds_up_to_ladder_rung(self):
+        policy = BucketPolicy(ladders={"m": (128, 256, 512)})
+        assert policy.round_dim("m", 100) == 128
+        assert policy.round_dim("m", 128) == 128
+        assert policy.round_dim("m", 129) == 256
+        assert policy.round_dim("m", 512) == 512
+
+    def test_above_top_rung_rounds_to_multiple(self):
+        policy = BucketPolicy(ladders={"m": (128, 256)})
+        assert policy.round_dim("m", 300) == 512
+        assert policy.round_dim("m", 513) == 768
+
+    def test_unladdered_dim_uses_pow2_floor(self):
+        policy = BucketPolicy(ladders={})
+        assert policy.round_dim("k", 1) == 64
+        assert policy.round_dim("k", 65) == 128
+        assert policy.round_dim("k", 300) == 512
+
+    def test_bucket_orders_and_labels(self):
+        policy = BucketPolicy(ladders={"m": (128,), "n": (256,)})
+        bucket = policy.bucket({"n": 10, "m": 10}, ("m", "n"))
+        assert bucket == Bucket((("m", 128), ("n", 256)))
+        assert bucket.label() == "m128xn256"
+
+    def test_missing_dimension_rejected(self):
+        policy = BucketPolicy(ladders={})
+        with pytest.raises(CypressError, match="missing dimension"):
+            policy.bucket({"m": 128}, ("m", "n"))
+
+    def test_unknown_dimension_rejected(self):
+        policy = BucketPolicy(ladders={})
+        with pytest.raises(CypressError, match="unknown dimension"):
+            policy.bucket({"m": 128, "zz": 1}, ("m",))
+
+    def test_non_positive_extent_rejected(self):
+        policy = BucketPolicy(ladders={})
+        with pytest.raises(CypressError, match="positive integer"):
+            policy.round_dim("m", 0)
+
+    def test_bad_ladder_rejected(self):
+        with pytest.raises(CypressError, match="ascending"):
+            BucketPolicy(ladders={"m": (256, 128)})
+
+    def test_non_positive_floor_rejected(self):
+        # floor=0 would make the pow2 fallback loop forever.
+        with pytest.raises(CypressError, match="floor"):
+            BucketPolicy(ladders={}, floor=0)
+
+
+class TestRegistry:
+    def test_default_registry_serves_the_zoo(self):
+        reg = default_registry()
+        assert reg.names() == [
+            "batched_gemm",
+            "dual_gemm",
+            "flash_attention2",
+            "flash_attention3",
+            "gemm",
+            "gemm_reduction",
+        ]
+
+    def test_duplicate_name_rejected(self, registry):
+        with pytest.raises(CypressError, match="already registered"):
+            registry.register("gemm", build_gemm, ("m", "n", "k"))
+
+    def test_unknown_kernel_lists_known_names(self, registry):
+        with pytest.raises(CypressError, match="unknown kernel 'nope'"):
+            registry.get("nope")
+
+
+class TestSubmitValidation:
+    def test_unknown_kernel_name_raises_eagerly(self, hopper, registry):
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            with pytest.raises(CypressError, match="unknown kernel"):
+                server.submit("conv2d", dict(m=128, n=256, k=64))
+
+    def test_positional_shape_arity_checked(self, hopper, registry):
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            with pytest.raises(CypressError, match="expects 3 dimensions"):
+                server.submit("gemm", (128, 256))
+
+    def test_empty_batch_is_a_noop(self, hopper, registry):
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            assert server.submit_many([]) == []
+            assert server.stats().requests == 0
+
+    def test_submit_after_close_raises(self, hopper, registry):
+        server = RuntimeServer(hopper, registry, workers=1)
+        server.close()
+        with pytest.raises(CypressError, match="closed"):
+            server.submit("gemm", dict(m=128, n=256, k=64))
+
+
+class TestRoundTrip:
+    def test_register_warm_serve_restart(self, hopper, registry, tmp_path):
+        """The acceptance path: 50 mixed-shape requests, bucket hits,
+        then a disk-tier warm restart executing zero passes."""
+        disk = tmp_path / "kernels"
+        shapes = [
+            (100, 200, 60),
+            (128, 256, 64),
+            (90, 256, 64),
+            (200, 250, 100),
+            (256, 256, 128),
+        ] * 10
+        with RuntimeServer(
+            hopper, registry, workers=3, disk_cache=str(disk)
+        ) as server:
+            warmed = server.warm("gemm", [dict(m=128, n=256, k=64)])
+            assert warmed == {"m128xn256xk64": "gemm_128x256x64"}
+            futures = [
+                server.submit("gemm", dict(m=m, n=n, k=k))
+                for m, n, k in shapes
+            ]
+            results = [f.result(timeout=120) for f in futures]
+            assert len(results) == 50
+            # Every result matches a direct compile+simulate of its
+            # bucket shape.
+            direct = {
+                (128, 256, 64): _direct(hopper, 128, 256, 64),
+                (256, 256, 128): _direct(hopper, 256, 256, 128),
+            }
+            for result in results:
+                bucket = tuple(result.bucket.as_dict().values())
+                assert bucket in direct
+                assert result.gpu.tflops == direct[bucket].tflops
+                assert result.gpu.cycles == direct[bucket].cycles
+                assert result.build_name.startswith("gemm_")
+            # Mixed shapes collapsed onto 2 buckets -> bucket hits.
+            assert any(r.tier == "memory" for r in results)
+            stats = server.stats()
+            assert stats.completed == 50
+            assert stats.tier_counts["memory"] >= 1
+            assert stats.per_kernel["gemm"].requests == 50
+        # --- simulated restart: new server, same disk, cold memory ---
+        api.clear_compile_cache()
+        with RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(disk)
+        ) as server:
+            before = pass_execution_count()
+            result = server.submit(
+                "gemm", dict(m=128, n=256, k=64)
+            ).result(timeout=120)
+            assert result.tier == "disk"
+            assert pass_execution_count() == before  # zero passes
+            assert (
+                result.gpu.tflops == direct[(128, 256, 64)].tflops
+            )
+            assert api.compile_cache_stats().second_tier_hits >= 1
+
+    def test_cold_vs_warm_restart_equivalence(
+        self, hopper, registry, tmp_path
+    ):
+        """A disk-warmed kernel is indistinguishable from a cold
+        compile: same simulated timing and same functional outputs."""
+        disk = tmp_path / "kernels"
+        shape = dict(m=128, n=256, k=64)
+        rng = np.random.default_rng(7)
+        inputs = {
+            "C": np.zeros((128, 256), np.float16),
+            "A": (rng.standard_normal((128, 64)) * 0.1).astype(np.float16),
+            "B": (rng.standard_normal((64, 256)) * 0.1).astype(np.float16),
+        }
+        with RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(disk)
+        ) as server:
+            cold = server.submit(
+                "gemm", shape, inputs=dict(inputs)
+            ).result(timeout=120)
+            assert cold.tier == "compile"
+        api.clear_compile_cache()
+        with RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(disk)
+        ) as server:
+            warm = server.submit(
+                "gemm", shape, inputs=dict(inputs)
+            ).result(timeout=120)
+            assert warm.tier == "disk"
+        assert warm.gpu.tflops == cold.gpu.tflops
+        np.testing.assert_array_equal(
+            warm.outputs["C"], cold.outputs["C"]
+        )
+
+
+class TestConcurrency:
+    def test_concurrent_submit_from_many_threads(self, hopper, registry):
+        per_thread = 10
+        futures = []
+        futures_lock = threading.Lock()
+
+        with RuntimeServer(hopper, registry, workers=4) as server:
+            def hammer():
+                mine = [
+                    server.submit("gemm", dict(m=128, n=256, k=64))
+                    for _ in range(per_thread)
+                ]
+                with futures_lock:
+                    futures.extend(mine)
+
+            threads = [
+                threading.Thread(target=hammer) for _ in range(8)
+            ]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            results = [f.result(timeout=120) for f in futures]
+            assert len(results) == 8 * per_thread
+            assert len({r.gpu.tflops for r in results}) == 1
+            assert server.stats().completed == 8 * per_thread
+
+    def test_microbatching_groups_same_bucket(self, hopper, registry):
+        server = RuntimeServer(
+            hopper, registry, workers=1, max_batch=8, start=False
+        )
+        try:
+            futures = [
+                server.submit("gemm", dict(m=128, n=256, k=64))
+                for _ in range(6)
+            ]
+            assert server.queue_depth == 6
+            server.start()
+            results = [f.result(timeout=120) for f in futures]
+            # One worker popped the head and gathered the rest: a
+            # single compile+simulate served the whole batch.
+            assert max(r.batch_size for r in results) >= 2
+            stats = server.stats()
+            assert stats.batches < 6
+            assert stats.max_batch_size >= 2
+        finally:
+            server.close()
+
+    def test_priority_orders_service(self, hopper, registry):
+        order = []
+        server = RuntimeServer(
+            hopper, registry, workers=1, max_batch=1, start=False
+        )
+        try:
+            low = server.submit(
+                "gemm", dict(m=128, n=256, k=64), priority=0
+            )
+            high = server.submit(
+                "gemm", dict(m=256, n=256, k=64), priority=10
+            )
+            low.add_done_callback(lambda f: order.append("low"))
+            high.add_done_callback(lambda f: order.append("high"))
+            server.start()
+            low.result(timeout=120)
+            high.result(timeout=120)
+            assert order == ["high", "low"]
+        finally:
+            server.close()
+
+    def test_close_without_drain_cancels_queued(self, hopper, registry):
+        server = RuntimeServer(hopper, registry, workers=1, start=False)
+        future = server.submit("gemm", dict(m=128, n=256, k=64))
+        server.close(drain=False)
+        assert future.cancelled()
+
+
+class TestDiskTier:
+    def test_truncated_pickle_falls_back_to_recompile(
+        self, hopper, registry, tmp_path
+    ):
+        disk = tmp_path / "kernels"
+        shape = dict(m=128, n=256, k=64)
+        with RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(disk)
+        ) as server:
+            first = server.submit("gemm", shape).result(timeout=120)
+        tier = DiskCacheTier(disk)
+        (key,) = tier.keys()
+        # Simulate a crash mid-write: truncate the pickle.
+        path = disk / f"{key}.pkl"
+        path.write_bytes(path.read_bytes()[:20])
+        api.clear_compile_cache()
+        with RuntimeServer(
+            hopper, registry, workers=1, disk_cache=tier
+        ) as server:
+            result = server.submit("gemm", shape).result(timeout=120)
+            assert result.gpu.tflops == first.gpu.tflops
+        assert tier.stats.corrupt == 1
+        # The recompile healed the entry via write-through.
+        assert tier.contains(key)
+        assert tier.load(key) is not None
+
+    def test_corrupt_load_deletes_and_reports_miss(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        (tmp_path / "deadbeef.pkl").write_bytes(b"not a pickle")
+        assert tier.load("deadbeef") is None
+        assert tier.stats.corrupt == 1
+        assert tier.stats.misses == 1
+        assert not tier.contains("deadbeef")
+
+    def test_store_load_roundtrip_and_clear(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.store("k1", {"payload": 42})
+        assert tier.load("k1") == {"payload": 42}
+        assert len(tier) == 1
+        tier.clear()
+        assert len(tier) == 0
+        assert tier.load("k1") is None
+
+    def test_unpicklable_store_is_swallowed(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        tier.store("k1", lambda: None)  # locals don't pickle
+        assert tier.stats.errors == 1
+        assert not tier.contains("k1")
+
+    def test_non_lifo_close_leaves_no_stale_tier(
+        self, hopper, registry, tmp_path
+    ):
+        from repro.compiler import compile_cache
+
+        server_a = RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(tmp_path / "a")
+        )
+        server_b = RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(tmp_path / "b")
+        )
+        # Close out of stack order: b's close must not reattach a's
+        # already-retired tier to the process-wide cache.
+        server_a.close()
+        server_b.close()
+        assert compile_cache.second_tier is None
+
+    def test_lifo_close_restores_outer_tier(
+        self, hopper, registry, tmp_path
+    ):
+        from repro.compiler import compile_cache
+
+        server_a = RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(tmp_path / "a")
+        )
+        server_b = RuntimeServer(
+            hopper, registry, workers=1, disk_cache=str(tmp_path / "b")
+        )
+        server_b.close()
+        assert compile_cache.second_tier is server_a.disk_tier
+        server_a.close()
+        assert compile_cache.second_tier is None
+
+
+class TestWarmTuning:
+    def test_warm_with_tuning_pins_bucket_params(self, hopper, registry):
+        space = MappingSearchSpace(
+            tiles=((128, 256),),
+            tile_k=(64,),
+            warpgroups=(1, 2),
+            pipeline_depths=(1, 2),
+            warpspecialize=(False,),
+        )
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            server.warm(
+                "gemm",
+                [dict(m=128, n=256, k=64)],
+                tune=True,
+                space=space,
+            )
+            result = server.submit(
+                "gemm", dict(m=100, n=200, k=64)
+            ).result(timeout=120)
+            # The tuned mapping is pinned and served from cache.
+            assert result.tier == "memory"
+            assert result.params is not None
+            assert result.params["tile_m"] == 128
+            assert result.params["pipeline"] in (1, 2)
+
+    def test_warm_without_space_raises(self, hopper, registry):
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            with pytest.raises(CypressError, match="search space"):
+                server.warm(
+                    "gemm", [dict(m=128, n=256, k=64)], tune=True
+                )
+
+
+class TestTelemetry:
+    def test_stats_table_renders(self, hopper, registry):
+        with RuntimeServer(hopper, registry, workers=2) as server:
+            futures = server.submit_many(
+                [("gemm", dict(m=128, n=256, k=64))] * 5
+            )
+            for future in futures:
+                future.result(timeout=120)
+            stats = server.stats()
+            table = stats.table()
+            assert "gemm" in table
+            assert "p50" in table or "p50 ms" in table
+            assert stats.p50_latency_s >= 0.0
+            assert stats.p95_latency_s >= stats.p50_latency_s
+            assert 0.0 <= stats.tier_rate("memory") <= 1.0
+            assert stats.throughput_rps > 0.0
+
+    def test_failed_requests_counted(self, hopper):
+        reg = KernelRegistry()
+        # tile_m=192 survives build but fails in the compiler.
+        reg.register(
+            "bad_gemm",
+            build_gemm,
+            ("m", "n", "k"),
+            policy=BucketPolicy(ladders={}),
+            defaults=dict(tile_m=192, tile_n=128, tile_k=64),
+        )
+        with RuntimeServer(hopper, reg, workers=1) as server:
+            future = server.submit("bad_gemm", dict(m=256, n=256, k=128))
+            with pytest.raises(CypressError):
+                future.result(timeout=120)
+            assert server.stats().failed == 1
+
+
+class TestServeEntryPoint:
+    def test_api_serve_round_trip(self, hopper):
+        with api.serve(hopper, workers=1) as server:
+            result = server.submit(
+                "gemm", dict(m=256, n=256, k=128)
+            ).result(timeout=120)
+            assert result.kernel == "gemm"
+            assert result.tflops > 0
