@@ -1,0 +1,158 @@
+"""Cost-model benchmark: two-stage search speedup and honesty.
+
+Runs the mapping search twice per space — exhaustively (every candidate
+compiled + simulated) and two-stage (analytic ranking, ``top_k``
+survivors compiled) — over the gemm and flash-attention-2 search
+spaces, and writes ``benchmarks/BENCH_costmodel.json``:
+
+* ``search_speedup`` — exhaustive wall time / two-stage wall time (the
+  compile cache is cleared before each timed phase, so both pay cold
+  compiles);
+* ``best_tflops`` per mode — the two-stage search must find an
+  equal-or-better mapping;
+* ``spearman`` — rank correlation between predicted and simulated
+  cycles across the fully evaluated space (the model's honesty metric);
+* ``prediction_error`` — mean |simulated/predicted - 1| over the same.
+
+Acceptance targets: speedup >= 10x at equal best-found TFLOP/s, and
+Spearman >= 0.8 on both spaces.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import api
+from repro.kernels import build_flash_attention2, build_gemm
+from repro.tuner import MappingSearchSpace, autotune
+
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_costmodel.json"
+
+TOP_K = 4
+GEMM_SIZE = 2048
+ATTN_HEADS, ATTN_SEQ = 8, 2048
+
+GEMM_SPACE = MappingSearchSpace(
+    tiles=((256, 256), (128, 256), (128, 128)),
+    tile_k=(64,),
+    warpgroups=(1, 2),
+    pipeline_depths=(1, 2, 3, 4),
+    warpspecialize=(True, False),
+)
+
+#: The attention exploration: q/kv tile shapes (including infeasible
+#: 256x256 ones the cost model must reject without compiling),
+#: warpgroup counts, pipeline depths, warp specialization.
+ATTN_SPACE = MappingSearchSpace(
+    tiles=((128, 128), (128, 256), (256, 128), (256, 256)),
+    tile_k=(64,),
+    warpgroups=(1, 2),
+    pipeline_depths=(1, 2, 3, 4),
+    warpspecialize=(True, False),
+)
+
+
+def _gemm_builder(machine, **params):
+    return build_gemm(machine, GEMM_SIZE, GEMM_SIZE, GEMM_SIZE, **params)
+
+
+def _attn_builder(machine, **params):
+    return build_flash_attention2(
+        machine,
+        ATTN_HEADS,
+        ATTN_SEQ,
+        q_tile=params["tile_m"],
+        kv_tile=params["tile_n"],
+        wgs=params["wgs"],
+        pipeline=params["pipeline"],
+        warpspecialize=params["warpspecialize"],
+    )
+
+
+def _search(machine, builder, space, label):
+    from repro.compiler.cache import score_cache
+
+    api.clear_compile_cache()
+    score_cache.clear()
+    start = time.perf_counter()
+    exhaustive = autotune(builder, machine, space)
+    exhaustive_s = time.perf_counter() - start
+
+    api.clear_compile_cache()
+    start = time.perf_counter()
+    two_stage = autotune(builder, machine, space, top_k=TOP_K)
+    two_stage_s = time.perf_counter() - start
+
+    speedup = exhaustive_s / two_stage_s if two_stage_s else 0.0
+    spearman = exhaustive.spearman()
+    record = {
+        "space_size": len(space),
+        "top_k": TOP_K,
+        "exhaustive": {
+            "wall_s": exhaustive_s,
+            "compiled": exhaustive.search.compiled,
+            "best_tflops": exhaustive.best.tflops,
+            "best_mapping": exhaustive.best.label(),
+        },
+        "two_stage": {
+            "wall_s": two_stage_s,
+            "compiled": two_stage.search.compiled,
+            "pruned": two_stage.search.pruned,
+            "score_s": two_stage.search.score_s,
+            "best_tflops": two_stage.best.tflops,
+            "best_mapping": two_stage.best.label(),
+        },
+        "search_speedup": speedup,
+        "spearman": spearman,
+        "prediction_error": exhaustive.prediction_error(),
+    }
+    rho_text = f"{spearman:.3f}" if spearman is not None else "n/a"
+    print(
+        f"\n{label}: {len(space)} candidates | exhaustive "
+        f"{exhaustive_s:.2f}s ({exhaustive.best.tflops:.1f} TFLOP/s) | "
+        f"two-stage {two_stage_s:.2f}s "
+        f"({two_stage.best.tflops:.1f} TFLOP/s, "
+        f"{two_stage.search.compiled} compiled) | speedup x{speedup:.1f} "
+        f"| spearman {rho_text}"
+    )
+    return record, exhaustive, two_stage
+
+
+def test_costmodel_search_trajectory(machine):
+    results = {}
+    for label, builder, space in (
+        ("gemm", _gemm_builder, GEMM_SPACE),
+        ("fa2", _attn_builder, ATTN_SPACE),
+    ):
+        record, exhaustive, two_stage = _search(
+            machine, builder, space, label
+        )
+        results[label] = record
+
+        # The two-stage search must not lose quality...
+        assert two_stage.best.tflops >= exhaustive.best.tflops * 0.999, (
+            label,
+            two_stage.best.label(),
+            exhaustive.best.label(),
+        )
+        # ...and the model must stay honest.
+        assert record["spearman"] is not None
+        assert record["spearman"] >= 0.8, (label, record["spearman"])
+        assert record["search_speedup"] >= 10.0, (
+            label,
+            record["search_speedup"],
+        )
+
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "workloads": {
+            "gemm": {"m": GEMM_SIZE, "n": GEMM_SIZE, "k": GEMM_SIZE},
+            "fa2": {"heads": ATTN_HEADS, "seq": ATTN_SEQ, "head_dim": 128},
+        },
+        "spaces": results,
+        "min_search_speedup": min(
+            r["search_speedup"] for r in results.values()
+        ),
+        "min_spearman": min(r["spearman"] for r in results.values()),
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

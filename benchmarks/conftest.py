@@ -25,6 +25,11 @@ from repro.machine import hopper_machine
 _RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_pipeline.json"
 _recorded_series = {}
 
+#: Benchmark modules that own their own output file; a session running
+#: only these must not rewrite BENCH_pipeline.json (it would clobber
+#: the pipeline trajectory with an unrelated session's cache counters).
+_SELF_CONTAINED = {"bench_costmodel", "bench_runtime_serving"}
+
 
 @pytest.fixture(scope="session")
 def machine():
@@ -79,6 +84,12 @@ def pytest_sessionfinish(session, exitstatus):
     # Only a clean benchmark run may update the tracked trajectory:
     # collect-only and failed/partial sessions would clobber it.
     if exitstatus != 0 or session.config.getoption("collectonly"):
+        return
+    # Sessions running only self-contained benchmarks don't touch it.
+    # session.items is the post-deselection list, so -k/-m filtered
+    # runs are classified by what actually ran, not what was collected.
+    ran = {Path(item.fspath).stem for item in session.items}
+    if ran and ran <= _SELF_CONTAINED:
         return
     stats = api.compile_cache_stats()
     figures = {}

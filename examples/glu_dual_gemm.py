@@ -1,12 +1,23 @@
 """Gated Linear Unit building block: the fused Dual-GEMM.
 
+What it demonstrates
+--------------------
 GLU layers compute ``activation(A x B1) * (A x B2)``; the performance-
 critical piece is evaluating both products of the shared input in one
-kernel without staging temporaries in global memory (paper section 5.2).
-This example compiles the Cypress Dual-GEMM, verifies it, and shows the
-overlap advantage over the modeled Triton schedule.
+kernel without staging temporaries in global memory (paper section
+5.2). This example compiles the Cypress Dual-GEMM, verifies it against
+numpy, and shows the overlap advantage over the modeled Triton
+schedule (whose serialized second B load cannot be prefetched).
 
-    python examples/glu_dual_gemm.py
+Expected output
+---------------
+A ``max |error|`` line (below 0.05), then one simulated-throughput
+summary line per system — Cypress first, the modeled Triton schedule
+second — with Cypress ahead by the overlap margin.
+
+Run it::
+
+    PYTHONPATH=src python examples/glu_dual_gemm.py
 """
 
 import numpy as np

@@ -1,35 +1,39 @@
-"""Exploring the mapping space (paper section 5.4).
+"""Exploring the mapping space (paper section 5.4), two-stage.
 
+What it demonstrates
+--------------------
 The separation of logical description and mapping specification means
 tuning is data, not code: this example sweeps tile shapes, warpgroup
-counts, pipeline depths, and warp specialization for one GEMM size,
+counts, pipeline depths, and warp specialization for one GEMM size
 without touching the logical program — the exploration the paper calls
-out as impossible in Triton and invasive in CUTLASS.
+out as impossible in Triton and invasive in CUTLASS. It runs the sweep
+both ways:
 
-    python examples/mapping_tuning.py
+1. **Exhaustive** — every candidate batch-compiled through
+   ``api.compile_many`` (behind the content-keyed compile cache) and
+   timed on the simulated GPU.
+2. **Two-stage** — the analytic cost model
+   (:mod:`repro.tuner.costmodel`) ranks the whole space in
+   microseconds, and only the ``top_k`` survivors are compiled; the
+   report's ``spearman()`` shows how honestly the model ranked.
 
-Tuning
-------
-The sweep goes through the autotuning subsystem in :mod:`repro.tuner`:
+Expected output
+---------------
+Two ranked mapping tables (columns: mapping label, simulated TFLOP/s,
+predicted TFLOP/s; pruned candidates say ``pruned``), then a closing
+line per mode naming the best mapping and its throughput, and the
+two-stage honesty line (Spearman rank correlation, typically > 0.9,
+and the search-time ratio).
 
-1. Declare the axes as a :class:`MappingSearchSpace`. Each candidate is
-   a plain dict of ``build_gemm`` keyword arguments; the space's
-   ``constraint`` drops mappings that can never compile (here the
-   WGMMA rule that warpgroup tiles need 64 rows).
-2. Call :func:`autotune` with a builder closure. Candidates are
-   batch-compiled in a thread pool via ``api.compile_many``; every
-   compile goes through the pass-manager pipeline behind the
-   content-keyed compile cache, so re-running the sweep (or overlapping
-   sweeps) recompiles nothing.
-3. The returned :class:`TuningReport` ranks feasible mappings by
-   simulated TFLOP/s and keeps infeasible ones (e.g. shared-memory
-   over-subscription) with the compiler's error message — the compiler
-   reports them instead of silently mis-compiling.
+Run it::
 
-To tune a different kernel family, swap the builder. The default axes
-match the GEMM-family builders (``tile_m``/``tile_n``/``tile_k``,
-``wgs``, ``pipeline``, ``warpspecialize``); extra axes like the
-GEMM+Reduction accumulator placement go in
+    PYTHONPATH=src python examples/mapping_tuning.py
+
+Adapting to other kernels
+-------------------------
+The default axes match the GEMM-family builders (``tile_m``/``tile_n``
+/``tile_k``, ``wgs``, ``pipeline``, ``warpspecialize``); extra axes
+like the GEMM+Reduction accumulator placement go in
 ``MappingSearchSpace(extra={"accumulator": ("register", "shared")})``.
 Builders with different tiling knobs (the attention builders take
 ``q_tile``/``kv_tile``) adapt in the closure, e.g.::
@@ -40,13 +44,16 @@ Builders with different tiling knobs (the attention builders take
             wgs=p["wgs"], pipeline=p["pipeline"],
             warpspecialize=p["warpspecialize"],
         ),
-        machine, space,
+        machine, space, top_k=4,
     )
 
 A candidate whose parameters a builder rejects is recorded as a failed
 result rather than aborting the sweep.
 """
 
+import time
+
+from repro import api
 from repro.kernels import build_gemm
 from repro.machine import hopper_machine
 from repro.tuner import MappingSearchSpace, autotune
@@ -63,22 +70,48 @@ SEARCH_SPACE = MappingSearchSpace(
 )
 
 
-def main() -> None:
-    machine = hopper_machine()
-    report = autotune(
-        lambda m, **params: build_gemm(m, SIZE, SIZE, SIZE, **params),
-        machine,
-        SEARCH_SPACE,
-    )
-    print(report.summary())
+def _describe(report, mode: str, wall_s: float) -> None:
     best = report.best
+    print(report.summary())
     print(
-        f"\nbest mapping: tile "
-        f"{best.candidate['tile_m']}x{best.candidate['tile_n']}, "
-        f"{best.candidate['wgs']} warpgroups, "
-        f"pipeline {best.candidate['pipeline']}, "
-        f"warpspec={best.candidate['warpspecialize']} "
-        f"-> {best.tflops:.1f} TFLOP/s"
+        f"\n{mode}: best mapping {best.label()} "
+        f"-> {best.tflops:.1f} TFLOP/s "
+        f"({report.search.compiled} compiled in {wall_s:.2f}s)\n"
+    )
+
+
+def main(size: int = SIZE, space: MappingSearchSpace = SEARCH_SPACE,
+         top_k: int = 4) -> None:
+    """Run the exhaustive and two-stage sweeps and compare them.
+
+    Args:
+        size: square GEMM problem size.
+        space: the candidate axes to sweep.
+        top_k: survivors fully evaluated by the two-stage search.
+    """
+    machine = hopper_machine()
+
+    def builder(m, **params):
+        return build_gemm(m, size, size, size, **params)
+
+    api.clear_compile_cache()
+    start = time.perf_counter()
+    exhaustive = autotune(builder, machine, space)
+    exhaustive_s = time.perf_counter() - start
+    _describe(exhaustive, "exhaustive", exhaustive_s)
+
+    api.clear_compile_cache()
+    start = time.perf_counter()
+    two_stage = autotune(builder, machine, space, top_k=top_k)
+    two_stage_s = time.perf_counter() - start
+    _describe(two_stage, f"two-stage (top_k={top_k})", two_stage_s)
+
+    rho = exhaustive.spearman()
+    ratio = exhaustive_s / two_stage_s if two_stage_s else 0.0
+    rho_text = f"{rho:.3f}" if rho is not None else "n/a (space too small)"
+    print(
+        f"cost-model honesty: spearman={rho_text} vs simulation; "
+        f"two-stage search ran {ratio:.1f}x faster"
     )
 
 

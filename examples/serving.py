@@ -1,14 +1,27 @@
 """Serving: a long-lived runtime in front of the compiler.
 
+What it demonstrates
+--------------------
 Starts a :class:`repro.runtime.RuntimeServer` with a persistent
 compile-cache directory, warms two GEMM buckets and two Flash
-Attention 2 buckets (the GEMM ones autotuned), fires a mixed workload
-of 100 requests with arbitrary shapes, and prints the serving
-telemetry: every request is served by one of the warmed (or
-first-compiled) bucket kernels, so the tail of the workload is pure
-cache hits.
+Attention 2 buckets (the GEMM ones autotuned through the two-stage
+search), fires a mixed workload of 100 requests with arbitrary shapes,
+and prints the serving telemetry: every request is served by one of
+the warmed (or first-compiled) bucket kernels, so the tail of the
+workload is pure cache hits. See ``docs/serving.md`` for the concepts.
 
-    python examples/serving.py
+Expected output
+---------------
+The cache directory path, the warmed bucket labels with their kernel
+names, then the ``RuntimeStats.table()`` dashboard: a ``runtime:``
+header line (100/100 served), a ``latency:`` line (p50/p95 in ms), a
+``tiers:`` line whose ``memory`` share dominates, and one row per
+kernel with requests, latency percentiles, req/s, and simulated
+TFLOP/s.
+
+Run it::
+
+    PYTHONPATH=src python examples/serving.py
 """
 
 import random

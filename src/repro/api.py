@@ -212,8 +212,19 @@ def run_functional(
 ) -> Dict[str, np.ndarray]:
     """Execute a compiled kernel on numpy data.
 
-    ``stage`` is a :class:`Stage` (the string forms ``"final"`` and
-    ``"dependence"`` remain accepted for backward compatibility).
+    Args:
+        kernel: the compiled kernel to interpret.
+        inputs: one numpy array per entrypoint tensor parameter,
+            keyed by parameter name.
+        stage: which IR to interpret — a :class:`Stage` (the string
+            forms ``"final"`` and ``"dependence"`` remain accepted for
+            backward compatibility).
+
+    Returns:
+        ``{parameter name: array}`` for every written tensor.
+
+    Raises:
+        CypressError: unknown ``stage``.
     """
     stage = _coerce_stage(stage)
     fn = kernel.final_ir if stage is Stage.FINAL else kernel.dependence_ir
@@ -221,12 +232,29 @@ def run_functional(
 
 
 def simulate(kernel: CompiledKernel, machine: MachineModel) -> GpuResult:
-    """Time a compiled kernel on the simulated GPU."""
+    """Time a compiled kernel on the simulated GPU.
+
+    Args:
+        kernel: the compiled kernel whose schedule to simulate.
+        machine: the machine model to execute on.
+
+    Returns:
+        A :class:`~repro.gpusim.gpu.GpuResult` with cycles, seconds,
+        TFLOP/s, occupancy, waves, and per-resource utilization.
+    """
     return simulate_kernel(kernel.schedule, machine)
 
 
 def tflops(kernel: CompiledKernel, machine: MachineModel) -> float:
-    """Convenience: simulated throughput in TFLOP/s."""
+    """Convenience: simulated throughput in TFLOP/s.
+
+    Args:
+        kernel: the compiled kernel to time.
+        machine: the machine model to execute on.
+
+    Returns:
+        Simulated TFLOP/s of one launch.
+    """
     return simulate(kernel, machine).tflops
 
 

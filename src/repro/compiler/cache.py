@@ -58,14 +58,15 @@ class SecondTier:
         raise NotImplementedError
 
 
-@dataclass
+@dataclass(repr=False)
 class CacheStats:
     """Counters since the last ``clear`` plus the current capacity.
 
     ``hits`` are in-memory hits; ``second_tier_hits`` count lookups
     answered by the attached persistent tier (disk); ``misses`` ran the
     full pass pipeline. ``evictions`` counts LRU entries dropped because
-    the cache was over capacity (from ``put`` or ``resize``).
+    the cache was over capacity (from ``put`` or ``resize``). Every
+    field is documented for dashboard consumers in ``docs/serving.md``.
     """
 
     hits: int = 0
@@ -76,12 +77,24 @@ class CacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total lookups: hits + misses + second-tier hits."""
         return self.hits + self.misses + self.second_tier_hits
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of lookups served without compiling (0.0–1.0)."""
         served = self.hits + self.second_tier_hits
         return served / self.lookups if self.lookups else 0.0
+
+    def __repr__(self) -> str:
+        from repro.util import fmt_percent
+
+        return (
+            f"CacheStats(hits={self.hits}, misses={self.misses}, "
+            f"second_tier_hits={self.second_tier_hits}, "
+            f"evictions={self.evictions}, capacity={self.capacity}, "
+            f"hit_rate={fmt_percent(self.hit_rate)})"
+        )
 
 
 def _capacity_from_env() -> int:
@@ -270,5 +283,85 @@ class CompileCache:
             return key in self._entries
 
 
+@dataclass
+class ScoreStats:
+    """Counters of the cost-model verdict memo.
+
+    ``hits`` returned a memoized :class:`~repro.tuner.costmodel.
+    CostEstimate`; ``misses`` ran the analytic model.
+    """
+
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def lookups(self) -> int:
+        return self.hits + self.misses
+
+
+class ScoreCache:
+    """Memoized cost-model verdicts, kept alongside the compile cache.
+
+    The analytic cost model (:mod:`repro.tuner.costmodel`) is orders of
+    magnitude cheaper than a compile, but tuning sweeps and
+    ``RuntimeServer.warm`` re-score identical candidates constantly —
+    the same (kernel, params, machine) triple shows up in every repeated
+    sweep. Verdicts are pure functions of that triple, so they are
+    memoized here under the same module as the compile cache: one place
+    owns everything derived from a kernel instantiation's content.
+
+    Keys are hashable tuples produced by ``AnalyticCostModel.score_key``
+    (deliberately cheaper than the SHA-256 compile key: scoring costs
+    microseconds, so hashing must too). The memo is a bounded LRU and is
+    thread-safe.
+    """
+
+    def __init__(self, capacity: int = 4096):
+        if capacity < 1:
+            raise ValueError("score cache capacity must be >= 1")
+        self.capacity = capacity
+        self.stats = ScoreStats()
+        self._entries: "OrderedDict[Any, Any]" = OrderedDict()
+        self._lock = threading.Lock()
+
+    def get_or_score(self, key: Any, score) -> Any:
+        """Return the memoized verdict for ``key``, computing via
+        ``score()`` on a miss.
+
+        Args:
+            key: a hashable content key for the scored candidate.
+            score: zero-argument callable producing the verdict.
+
+        Returns:
+            The memoized (or freshly computed) verdict object.
+        """
+        with self._lock:
+            if key in self._entries:
+                self._entries.move_to_end(key)
+                self.stats.hits += 1
+                return self._entries[key]
+            self.stats.misses += 1
+        value = score()
+        with self._lock:
+            self._entries[key] = value
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+        return value
+
+    def clear(self) -> None:
+        """Drop every memoized verdict and reset the counters."""
+        with self._lock:
+            self._entries.clear()
+            self.stats = ScoreStats()
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+
 #: The process-wide cache consulted by ``compile_program``.
 compile_cache = CompileCache()
+
+#: The process-wide cost-model verdict memo consulted by the tuner.
+score_cache = ScoreCache()

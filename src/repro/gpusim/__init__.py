@@ -16,6 +16,7 @@ from repro.gpusim.executor import CtaResult, simulate_cta
 from repro.gpusim.gpu import GpuResult, simulate_kernel
 from repro.gpusim.barriers import MBarrier
 from repro.gpusim.functional import interpret_function
+from repro.gpusim.roofline import Roofline, roofline
 
 __all__ = [
     "Instr",
@@ -28,4 +29,6 @@ __all__ = [
     "GpuResult",
     "MBarrier",
     "interpret_function",
+    "Roofline",
+    "roofline",
 ]

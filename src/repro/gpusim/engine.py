@@ -14,8 +14,8 @@ from dataclasses import dataclass, field
 from typing import Dict
 
 from repro.errors import SimulationError
+from repro.gpusim.roofline import roofline
 from repro.machine.machine import MachineModel
-from repro.machine.memory import MemoryKind
 
 
 @dataclass
@@ -48,39 +48,27 @@ class ResourcePool:
             name: Resource(name)
             for name in ("tma", "tensor", "simt", "sfu", "smem", "lsu")
         }
-        specs = machine.specs
-        self._tensor_flops_per_cycle = specs.get(
-            "tensor_flops_per_cycle_per_sm", 1000.0
-        )
-        self._simt_flops_per_cycle = specs.get(
-            "simt_flops_per_cycle_per_sm", 128.0
-        )
-        self._sfu_ops_per_cycle = specs.get("sfu_ops_per_cycle_per_sm", 16.0)
-        self._smem_bytes_per_cycle = machine.memory(
-            MemoryKind.SHARED
-        ).bandwidth_bytes_per_cycle
+        # All service rates come from the shared roofline derivation so
+        # the analytic cost model and the simulator agree on the
+        # hardware's capabilities (repro.gpusim.roofline). strict=False:
+        # the CTA-level engine never touches the HBM roof, so machines
+        # without that spec keep working (historical tolerance).
+        roof = roofline(machine, strict=False)
+        self._tensor_flops_per_cycle = roof.tensor_flops_per_cycle
+        self._simt_flops_per_cycle = roof.simt_flops_per_cycle
+        self._sfu_ops_per_cycle = roof.sfu_ops_per_cycle
+        self._smem_bytes_per_cycle = roof.smem_bytes_per_cycle
         # Per-SM copy throughput rides the L2: tile loads mostly hit in
         # L2 thanks to inter-CTA reuse (row/column panels shared across
         # a wave). Compulsory DRAM traffic is bounded separately by the
         # whole-device HBM roofline in the GPU model.
-        sm_count = specs.get("sm_count", 1.0)
-        ghz = specs.get("clock_ghz", 1.0)
-        l2_tb_s = specs.get(
-            "l2_bandwidth_tb_s", specs.get("hbm_bandwidth_tb_s", 1.0) * 3
-        )
-        self._global_bytes_per_cycle = (
-            l2_tb_s * 1e12 / (sm_count * ghz * 1e9)
-        )
-        self._global_latency = machine.memory(
-            MemoryKind.GLOBAL
-        ).latency_cycles
-        self._tma_latency = specs.get("tma_latency_cycles", 700.0)
-        self._tma_issue = specs.get("tma_issue_cycles", 40.0)
-        self._cp_async_latency = specs.get("cp_async_latency_cycles", 600.0)
-        self._cp_async_issue_per_16b = specs.get(
-            "cp_async_issue_cycles_per_16b", 1.0
-        )
-        self.has_tma = "tma_issue_cycles" in specs
+        self._global_bytes_per_cycle = roof.global_bytes_per_cycle
+        self._global_latency = roof.global_latency_cycles
+        self._tma_latency = roof.tma_latency_cycles
+        self._tma_issue = roof.tma_issue_cycles
+        self._cp_async_latency = roof.cp_async_latency_cycles
+        self._cp_async_issue_per_16b = roof.cp_async_issue_cycles_per_16b
+        self.has_tma = roof.has_tma
 
     # ------------------------------------------------------------------
     # Service/issue models per instruction kind

@@ -26,8 +26,9 @@ from typing import Dict
 
 from repro.gpusim.executor import CtaResult, simulate_cta
 from repro.gpusim.kernel import KernelSchedule
+from repro.gpusim.roofline import effective_waves as _effective_waves
+from repro.gpusim.roofline import roofline, throttle_scale
 from repro.machine.machine import MachineModel
-from repro.machine.memory import MemoryKind
 
 
 @dataclass
@@ -47,6 +48,7 @@ class GpuResult:
     dram_gb: float
 
     def summary(self) -> str:
+        """One-line human-readable timing summary for reports."""
         return (
             f"{self.name}: {self.tflops:7.1f} TFLOP/s  "
             f"({self.seconds * 1e3:.3f} ms, grid={self.grid}, "
@@ -57,19 +59,18 @@ class GpuResult:
 
 def occupancy(schedule: KernelSchedule, machine: MachineModel) -> int:
     """CTAs resident per SM under shared-memory/register/thread limits."""
-    specs = machine.specs
-    smem_capacity = machine.memory(MemoryKind.SHARED).capacity_bytes
-    limit = int(specs.get("max_ctas_per_sm", 32))
+    roof = roofline(machine, strict=False)
+    limit = roof.max_ctas_per_sm
     if schedule.smem_bytes_per_cta > 0:
-        limit = min(limit, smem_capacity // schedule.smem_bytes_per_cta)
+        limit = min(
+            limit, roof.smem_capacity_bytes // schedule.smem_bytes_per_cta
+        )
     threads = schedule.threads_per_cta
     if threads > 0:
-        limit = min(
-            limit, int(specs.get("max_threads_per_sm", 2048)) // threads
-        )
+        limit = min(limit, roof.max_threads_per_sm // threads)
     regs = schedule.regs_per_thread * threads
     if regs > 0:
-        limit = min(limit, int(specs.get("registers_per_sm", 65536)) // regs)
+        limit = min(limit, roof.registers_per_sm // regs)
     return max(1, limit)
 
 
@@ -78,9 +79,11 @@ def simulate_kernel(
 ) -> GpuResult:
     """Simulate a kernel launch; returns timing and TFLOP/s."""
     cta = simulate_cta(schedule, machine)
-    specs = machine.specs
-    sm_count = specs["sm_count"]
-    clock_hz = specs["clock_ghz"] * 1e9
+    # Every machine rate comes from the shared (strict) roofline
+    # derivation — the same numbers the analytic cost model consumes.
+    roof = roofline(machine)
+    sm_count = roof.sm_count
+    clock_hz = roof.clock_hz
 
     ctas_per_sm = occupancy(schedule, machine)
     concurrent = sm_count * ctas_per_sm
@@ -97,52 +100,30 @@ def simulate_kernel(
     # kernels (one CTA per SM consuming logical blocks off a queue)
     # avoid both the tail quantization and the per-CTA start cost.
     persistent = bool(schedule.metadata.get("persistent"))
-    full_waves = schedule.grid // concurrent
-    tail = schedule.grid - full_waves * concurrent
     if persistent:
-        effective_waves = schedule.grid / concurrent
+        effective_waves = max(schedule.grid / concurrent, 1.0)
         start_cycles = 0.0
     else:
-        effective_waves = full_waves + (
-            0.0 if tail == 0 else max(0.35, tail / concurrent)
-        )
-        start_cycles = specs.get("cta_start_cycles", 0.0)
-    effective_waves = max(effective_waves, 1.0)
+        effective_waves = _effective_waves(schedule.grid, int(concurrent))
+        start_cycles = roof.cta_start_cycles
 
     compute_cycles = effective_waves * wave_cycles + start_cycles
 
     # Bandwidth roofs over the whole launch.
     total_loaded = schedule.bytes_loaded_per_cta() * schedule.grid
     total_stored = schedule.bytes_stored_per_cta() * schedule.grid
-    hbm_bytes_per_cycle = (
-        specs["hbm_bandwidth_tb_s"] * 1e12 / clock_hz
-    )
-    l2_bytes_per_cycle = (
-        specs.get("l2_bandwidth_tb_s", specs["hbm_bandwidth_tb_s"] * 3)
-        * 1e12
-        / clock_hz
-    )
+    hbm_bytes_per_cycle = roof.hbm_bytes_per_cycle
+    l2_bytes_per_cycle = roof.l2_bytes_per_cycle
     unique = schedule.unique_dram_bytes + total_stored
     hbm_floor = unique / hbm_bytes_per_cycle
     l2_floor = (total_loaded + total_stored) / l2_bytes_per_cycle
     cycles = max(compute_cycles, hbm_floor, l2_floor)
 
-    # Deterministic throttle model.
-    tensor_util = min(
-        1.0,
-        (schedule.total_flops / specs["tensor_fp16_tflops"] / 1e12)
-        * clock_hz
-        / max(cycles, 1.0),
-    )
-    knee = specs.get("throttle_knee_utilization", 1.0)
-    floor = specs.get("throttle_floor_fraction", 1.0)
-    clock_scale = 1.0
-    if tensor_util > knee and knee < 1.0:
-        over = (tensor_util - knee) / (1.0 - knee)
-        clock_scale = 1.0 - (1.0 - floor) * min(1.0, over)
+    # Deterministic throttle model (shared with the cost model).
+    clock_scale = throttle_scale(roof, schedule.total_flops, cycles)
     cycles = cycles / clock_scale
 
-    seconds = cycles / (clock_hz) + specs.get("kernel_launch_us", 0.0) * 1e-6
+    seconds = cycles / clock_hz + roof.kernel_launch_us * 1e-6
     tflops = schedule.total_flops / seconds / 1e12 if seconds > 0 else 0.0
 
     utilization = {

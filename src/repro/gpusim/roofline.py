@@ -1,0 +1,249 @@
+"""Per-resource roofline numbers derived from a :class:`MachineModel`.
+
+The discrete-event simulator (:mod:`repro.gpusim.engine`), the
+whole-GPU wave model (:mod:`repro.gpusim.gpu`), and the analytic cost
+model (:mod:`repro.tuner.costmodel`) all need the same derived
+quantities: per-SM service rates for each resource, whole-device
+bandwidth in bytes per cycle, latency and issue costs, and occupancy
+limits. :func:`roofline` computes them once from ``machine.specs`` so
+the predictor and the simulator can never disagree about what the
+hardware is capable of — only about how a particular schedule uses it.
+"""
+
+from __future__ import annotations
+
+import weakref
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.machine.machine import MachineModel
+from repro.machine.memory import MemoryKind
+
+
+@dataclass(frozen=True)
+class Roofline:
+    """Derived machine rates, latencies, and limits (all per boost clock).
+
+    Attributes:
+        sm_count: streaming multiprocessors on the device.
+        clock_hz: boost clock in Hz.
+        tensor_flops_per_cycle: Tensor Core FLOPs per cycle per SM.
+        simt_flops_per_cycle: SIMT FLOPs per cycle per SM.
+        sfu_ops_per_cycle: special-function ops per cycle per SM.
+        smem_bytes_per_cycle: shared-memory bandwidth per SM.
+        global_bytes_per_cycle: per-SM global-copy service rate. Tile
+            loads mostly hit in L2 thanks to inter-CTA reuse, so this
+            rides the L2 bandwidth split across SMs; compulsory DRAM
+            traffic is bounded separately by ``hbm_bytes_per_cycle``.
+        global_latency_cycles: blocking global-access latency.
+        tma_issue_cycles / tma_latency_cycles: TMA issue cost and
+            completion latency (meaningful when ``has_tma``).
+        cp_async_issue_cycles_per_16b / cp_async_latency_cycles: the
+            Ampere-style async-copy costs used when the TMA is absent.
+        has_tma: whether the machine exposes a TMA engine.
+        hbm_bytes_per_cycle: whole-device HBM bandwidth.
+        l2_bytes_per_cycle: whole-device L2 bandwidth.
+        smem_capacity_bytes: shared memory per SM.
+        registers_per_sm / max_threads_per_sm / max_ctas_per_sm:
+            occupancy limits.
+        cta_start_cycles: fixed per-launch CTA start cost.
+        kernel_launch_us: host-side launch overhead in microseconds.
+        throttle_knee / throttle_floor: the deterministic power model —
+            sustained tensor utilization above the knee scales the
+            clock linearly toward the floor fraction.
+        tensor_peak_tflops: device dense FP16 Tensor Core peak.
+    """
+
+    sm_count: float
+    clock_hz: float
+    tensor_flops_per_cycle: float
+    simt_flops_per_cycle: float
+    sfu_ops_per_cycle: float
+    smem_bytes_per_cycle: float
+    global_bytes_per_cycle: float
+    global_latency_cycles: float
+    tma_issue_cycles: float
+    tma_latency_cycles: float
+    cp_async_issue_cycles_per_16b: float
+    cp_async_latency_cycles: float
+    has_tma: bool
+    hbm_bytes_per_cycle: float
+    l2_bytes_per_cycle: float
+    smem_capacity_bytes: int
+    registers_per_sm: int
+    max_threads_per_sm: int
+    max_ctas_per_sm: int
+    cta_start_cycles: float
+    kernel_launch_us: float
+    throttle_knee: float
+    throttle_floor: float
+    tensor_peak_tflops: float
+
+    def copy_latency_cycles(self) -> float:
+        """Completion latency of the machine's bulk-copy mechanism."""
+        return (
+            self.tma_latency_cycles
+            if self.has_tma
+            else self.cp_async_latency_cycles
+        )
+
+    def copy_issue_cycles(self, bytes_moved: float) -> float:
+        """Cycles the issuing warp spends launching one bulk copy."""
+        if self.has_tma:
+            return self.tma_issue_cycles
+        return (
+            max(1.0, bytes_moved / 16.0)
+            * self.cp_async_issue_cycles_per_16b
+            / 32.0
+        )
+
+
+def effective_waves(grid: int, concurrent: int) -> float:
+    """Non-persistent effective wave count with the partial-tail model.
+
+    The partial last wave is scaled by its fill fraction, floored at
+    0.35 (tail effects), and the whole launch takes at least one wave.
+    Shared by the simulator's grid model and the analytic cost model so
+    the tail arithmetic can never drift apart.
+
+    Args:
+        grid: CTAs launched.
+        concurrent: CTAs resident device-wide (SMs x occupancy).
+
+    Returns:
+        The effective wave multiplier (>= 1.0).
+    """
+    full = grid // concurrent
+    tail = grid - full * concurrent
+    waves = full + (0.0 if tail == 0 else max(0.35, tail / concurrent))
+    return max(waves, 1.0)
+
+
+def throttle_scale(
+    roof: Roofline, total_flops: float, cycles: float
+) -> float:
+    """The deterministic power-throttle clock scale for one launch.
+
+    Sustained Tensor Core utilization above the roofline's knee scales
+    the clock linearly toward the floor fraction. Shared by the
+    simulator and the analytic cost model.
+
+    Args:
+        roof: the machine's derived roofline.
+        total_flops: useful arithmetic of the launch.
+        cycles: pre-throttle predicted/simulated cycles.
+
+    Returns:
+        The clock scale in (0, 1]; divide cycles by it.
+    """
+    tensor_util = min(
+        1.0,
+        (total_flops / roof.tensor_peak_tflops / 1e12)
+        * roof.clock_hz
+        / max(cycles, 1.0),
+    )
+    if tensor_util > roof.throttle_knee and roof.throttle_knee < 1.0:
+        over = (tensor_util - roof.throttle_knee) / (
+            1.0 - roof.throttle_knee
+        )
+        return 1.0 - (1.0 - roof.throttle_floor) * min(1.0, over)
+    return 1.0
+
+
+#: Derived rooflines per live machine object. Machines are frozen
+#: dataclasses (treated as immutable), but their dict fields make them
+#: unhashable, so the cache is keyed by id() with a weak reference
+#: guarding against id reuse after collection.
+_CACHE: Dict[int, Tuple["weakref.ref", Dict[bool, Roofline]]] = {}
+
+
+def roofline(machine: MachineModel, *, strict: bool = True) -> Roofline:
+    """The :class:`Roofline` of ``machine`` (cached per machine object).
+
+    Args:
+        machine: the machine model to derive rates from. Must define
+            SHARED/GLOBAL memories; missing specs fall back to the
+            simulator's historical defaults.
+        strict: with the default ``True``, missing ``sm_count``,
+            ``clock_ghz``, ``tensor_fp16_tflops``, or
+            ``hbm_bandwidth_tb_s`` specs raise — fabricated rates
+            would make every whole-kernel simulation and cost
+            prediction silently wrong. ``strict=False`` keeps the
+            CTA-level engine's historical tolerance (defaults) for
+            machines that never touch those roofs.
+
+    Returns:
+        A frozen :class:`Roofline` with every derived quantity the
+        simulator and the analytic cost model consume.
+
+    Raises:
+        MachineError: ``strict=True`` and an essential spec is missing.
+    """
+    entry = _CACHE.get(id(machine))
+    if entry is not None and entry[0]() is machine:
+        roofs = entry[1]
+    else:
+        roofs = {}
+        key = id(machine)
+        ref = weakref.ref(machine, lambda _r, _k=key: _CACHE.pop(_k, None))
+        _CACHE[key] = (ref, roofs)
+    cached = roofs.get(strict)
+    if cached is None:
+        cached = roofs[strict] = _derive(machine, strict)
+    return cached
+
+
+def _derive(machine: MachineModel, strict: bool) -> Roofline:
+    specs = machine.specs
+    if strict:
+        # Whole-kernel simulation and cost prediction are meaningless
+        # without these; fail loudly (machine.spec names the known
+        # specs) rather than fabricate a roof.
+        for key in (
+            "sm_count",
+            "clock_ghz",
+            "tensor_fp16_tflops",
+            "hbm_bandwidth_tb_s",
+        ):
+            machine.spec(key)
+    sm_count = specs.get("sm_count", 1.0)
+    ghz = specs.get("clock_ghz", 1.0)
+    clock_hz = ghz * 1e9
+    hbm_tb_s = specs.get("hbm_bandwidth_tb_s", 1.0)
+    l2_tb_s = specs.get("l2_bandwidth_tb_s", hbm_tb_s * 3)
+    return Roofline(
+        sm_count=sm_count,
+        clock_hz=clock_hz,
+        tensor_flops_per_cycle=specs.get(
+            "tensor_flops_per_cycle_per_sm", 1000.0
+        ),
+        simt_flops_per_cycle=specs.get("simt_flops_per_cycle_per_sm", 128.0),
+        sfu_ops_per_cycle=specs.get("sfu_ops_per_cycle_per_sm", 16.0),
+        smem_bytes_per_cycle=machine.memory(
+            MemoryKind.SHARED
+        ).bandwidth_bytes_per_cycle,
+        global_bytes_per_cycle=l2_tb_s * 1e12 / (sm_count * clock_hz),
+        global_latency_cycles=machine.memory(
+            MemoryKind.GLOBAL
+        ).latency_cycles,
+        tma_issue_cycles=specs.get("tma_issue_cycles", 40.0),
+        tma_latency_cycles=specs.get("tma_latency_cycles", 700.0),
+        cp_async_issue_cycles_per_16b=specs.get(
+            "cp_async_issue_cycles_per_16b", 1.0
+        ),
+        cp_async_latency_cycles=specs.get("cp_async_latency_cycles", 600.0),
+        has_tma="tma_issue_cycles" in specs,
+        hbm_bytes_per_cycle=hbm_tb_s * 1e12 / clock_hz,
+        l2_bytes_per_cycle=l2_tb_s * 1e12 / clock_hz,
+        smem_capacity_bytes=machine.memory(
+            MemoryKind.SHARED
+        ).capacity_bytes,
+        registers_per_sm=int(specs.get("registers_per_sm", 65536)),
+        max_threads_per_sm=int(specs.get("max_threads_per_sm", 2048)),
+        max_ctas_per_sm=int(specs.get("max_ctas_per_sm", 32)),
+        cta_start_cycles=specs.get("cta_start_cycles", 0.0),
+        kernel_launch_us=specs.get("kernel_launch_us", 0.0),
+        throttle_knee=specs.get("throttle_knee_utilization", 1.0),
+        throttle_floor=specs.get("throttle_floor_fraction", 1.0),
+        tensor_peak_tflops=specs.get("tensor_fp16_tflops", 1.0),
+    )

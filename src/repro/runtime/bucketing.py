@@ -31,9 +31,11 @@ class Bucket:
     dims: Tuple[Tuple[str, int], ...]
 
     def as_dict(self) -> Dict[str, int]:
+        """The bucket shape as ``{dimension: extent}``."""
         return dict(self.dims)
 
     def label(self) -> str:
+        """A compact tag like ``"m512xn512xk256"`` for reports."""
         return "x".join(f"{name}{extent}" for name, extent in self.dims)
 
     def __iter__(self):
@@ -76,6 +78,18 @@ class BucketPolicy:
                 )
 
     def round_dim(self, name: str, value: int) -> int:
+        """Round one dimension up to its ladder rung (or pow2 granule).
+
+        Args:
+            name: the dimension being rounded.
+            value: the requested extent (must be a positive integer).
+
+        Returns:
+            The bucketed extent, always >= ``value``.
+
+        Raises:
+            CypressError: when ``value`` is not a positive integer.
+        """
         if not isinstance(value, int) or isinstance(value, bool) or value < 1:
             raise CypressError(
                 f"shape dimension {name!r} must be a positive integer, "

@@ -38,10 +38,12 @@ class DiskCacheStats:
 
     @property
     def lookups(self) -> int:
+        """Total disk lookups: hits + misses."""
         return self.hits + self.misses
 
     @property
     def hit_rate(self) -> float:
+        """Fraction of disk lookups that loaded successfully."""
         return self.hits / self.lookups if self.lookups else 0.0
 
 
@@ -62,6 +64,16 @@ class DiskCacheTier:
         return self._file(key).exists()
 
     def load(self, key: str) -> Optional[Any]:
+        """Read one cached kernel from disk.
+
+        Args:
+            key: the content fingerprint (compile key).
+
+        Returns:
+            The unpickled kernel, or ``None`` on a miss — including
+            unreadable/corrupt entries, which are deleted so a
+            recompile can heal them via write-through.
+        """
         try:
             with open(self._file(key), "rb") as handle:
                 kernel = pickle.load(handle)
@@ -85,6 +97,12 @@ class DiskCacheTier:
         return kernel
 
     def store(self, key: str, kernel: Any) -> None:
+        """Persist one kernel under ``key`` (atomic rename, best effort).
+
+        Args:
+            key: the content fingerprint (compile key).
+            kernel: the compiled kernel to pickle.
+        """
         try:
             fd, tmp = tempfile.mkstemp(
                 dir=self.path, prefix=f".{key[:16]}.", suffix=".tmp"
@@ -109,9 +127,11 @@ class DiskCacheTier:
             self.stats.stores += 1
 
     def keys(self) -> List[str]:
+        """All compile keys currently persisted, sorted."""
         return sorted(p.stem for p in self.path.glob("*.pkl"))
 
     def clear(self) -> None:
+        """Delete every persisted entry (best effort)."""
         for entry in self.path.glob("*.pkl"):
             try:
                 entry.unlink()

@@ -63,6 +63,7 @@ class RegisteredKernel:
     tune_adapter: Optional[TuneAdapter] = None
 
     def bucket(self, shape) -> Bucket:
+        """Round a request shape with this kernel's policy."""
         return self.policy.bucket(shape, self.dims)
 
     def build(
@@ -95,6 +96,23 @@ class KernelRegistry:
         search_space: Optional[MappingSearchSpace] = None,
         tune_adapter: Optional[TuneAdapter] = None,
     ) -> RegisteredKernel:
+        """Register a servable kernel family.
+
+        Args:
+            name: stable serving name (unique).
+            builder: ``build_*(machine, <dims...>, **params)``.
+            dims: ordered shape-dimension names requests must provide.
+            policy: bucket-rounding policy (defaults to pow2 floors).
+            defaults: mapping parameters applied to every build.
+            search_space: candidates for ``warm(tune=True)``.
+            tune_adapter: candidate dict -> builder kwargs translator.
+
+        Returns:
+            The stored :class:`RegisteredKernel`.
+
+        Raises:
+            CypressError: when ``name`` is already registered.
+        """
         if name in self._kernels:
             raise CypressError(f"kernel {name!r} is already registered")
         entry = RegisteredKernel(
@@ -110,6 +128,11 @@ class KernelRegistry:
         return entry
 
     def get(self, name: str) -> RegisteredKernel:
+        """Look up a kernel by serving name.
+
+        Raises:
+            CypressError: unknown name (the message lists known ones).
+        """
         try:
             return self._kernels[name]
         except KeyError:
@@ -119,6 +142,7 @@ class KernelRegistry:
             ) from None
 
     def names(self):
+        """All registered serving names, sorted."""
         return sorted(self._kernels)
 
     def __contains__(self, name: str) -> bool:

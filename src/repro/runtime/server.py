@@ -88,6 +88,7 @@ class RuntimeResult:
 
     @property
     def tflops(self) -> float:
+        """Simulated throughput of the serving kernel."""
         return self.gpu.tflops
 
 
@@ -317,6 +318,7 @@ class RuntimeServer:
         tune: bool = False,
         space: Optional[MappingSearchSpace] = None,
         max_workers: Optional[int] = None,
+        top_k: int = 4,
     ) -> Dict[str, str]:
         """Precompile (and optionally autotune) the given buckets.
 
@@ -326,7 +328,29 @@ class RuntimeServer:
         ``space``) is swept with :func:`repro.tuner.autotune` first and
         the winning mapping parameters are pinned for that bucket — all
         subsequent requests in the bucket are served by the tuned
-        kernel. Returns ``{bucket label: compiled kernel name}``.
+        kernel.
+
+        Tuned warm-up uses the two-stage search: the analytic cost
+        model ranks the whole space and only the ``top_k`` survivors
+        are compiled and simulated, so warming N buckets costs N
+        compiles of the winners plus ``top_k - 1`` extras each instead
+        of N full sweeps.
+
+        Args:
+            kernel: registered kernel name.
+            buckets: request shapes; each is rounded to its bucket.
+            tune: sweep the mapping space and pin the winner per bucket.
+            space: override the kernel's registered search space.
+            max_workers: worker-pool width for candidate compilation.
+            top_k: survivors fully evaluated per bucket when tuning.
+
+        Returns:
+            ``{bucket label: compiled kernel name}``.
+
+        Raises:
+            CypressError: unknown kernel, malformed shape, or
+                ``tune=True`` without any search space; also when no
+                candidate in the space is feasible.
         """
         registered = self.registry.get(kernel)
         warmed: Dict[str, str] = {}
@@ -335,7 +359,9 @@ class RuntimeServer:
                 self._coerce_shape(registered, shape)
             )
             if tune:
-                self._tune_bucket(registered, bucket, space, max_workers)
+                self._tune_bucket(
+                    registered, bucket, space, max_workers, top_k
+                )
             compiled, _tier, key = self._obtain_kernel(registered, bucket)
             if self.disk_tier is not None and not self.disk_tier.contains(
                 key
@@ -352,6 +378,7 @@ class RuntimeServer:
         bucket: Bucket,
         space: Optional[MappingSearchSpace],
         max_workers: Optional[int],
+        top_k: int,
     ) -> None:
         space = space or registered.search_space
         if space is None:
@@ -369,6 +396,7 @@ class RuntimeServer:
             self.machine,
             space,
             max_workers=max_workers,
+            top_k=top_k,
         )
         best = report.best  # raises CypressError if nothing was feasible
         self._bucket_params[(registered.name, bucket)] = adapt(
@@ -493,5 +521,6 @@ class RuntimeServer:
 
     @property
     def queue_depth(self) -> int:
+        """Requests currently waiting in the queue."""
         with self._cv:
             return len(self._queue)

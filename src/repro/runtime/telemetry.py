@@ -21,6 +21,8 @@ from collections import deque
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.util import fmt_percent
+
 #: The cache tier that produced a request's kernel.
 TIER_MEMORY = "memory"
 TIER_DISK = "disk"
@@ -68,9 +70,11 @@ class RuntimeStats:
 
     @property
     def throughput_rps(self) -> float:
+        """Completed requests per second of uptime."""
         return self.completed / self.uptime_s if self.uptime_s > 0 else 0.0
 
     def tier_rate(self, tier: str) -> float:
+        """Fraction of completed requests served by ``tier`` (0.0-1.0)."""
         total = sum(self.tier_counts.values())
         return self.tier_counts.get(tier, 0) / total if total else 0.0
 
@@ -87,7 +91,7 @@ class RuntimeStats:
             "tiers:   "
             + ", ".join(
                 f"{tier} {self.tier_counts.get(tier, 0)} "
-                f"({self.tier_rate(tier) * 100.0:.0f}%)"
+                f"({fmt_percent(self.tier_rate(tier))})"
                 for tier in TIERS
             ),
             f"{'kernel':<22}{'reqs':>6}{'p50 ms':>9}{'p95 ms':>9}"
@@ -130,10 +134,12 @@ class Telemetry:
         self._kernels: Dict[str, _KernelWindow] = {}
 
     def record_submit(self, count: int = 1) -> None:
+        """Count ``count`` requests entering the queue."""
         with self._lock:
             self._submitted += count
 
     def record_batch(self, size: int) -> None:
+        """Count one micro-batch of ``size`` requests."""
         with self._lock:
             self._batches += 1
             self._max_batch = max(self._max_batch, size)
@@ -141,6 +147,14 @@ class Telemetry:
     def record_result(
         self, kernel: str, latency_s: float, tier: str, tflops: float
     ) -> None:
+        """Record one completed request.
+
+        Args:
+            kernel: registered kernel name.
+            latency_s: submit-to-resolve wall time.
+            tier: which cache tier produced the kernel.
+            tflops: simulated throughput of the serving kernel.
+        """
         with self._lock:
             self._completed += 1
             self._tiers[tier] = self._tiers.get(tier, 0) + 1
@@ -152,10 +166,19 @@ class Telemetry:
             window.tflops_sum += tflops
 
     def record_failure(self, count: int = 1) -> None:
+        """Count ``count`` failed requests."""
         with self._lock:
             self._failed += count
 
     def snapshot(self, queue_depth: int = 0) -> RuntimeStats:
+        """Freeze the collector into a :class:`RuntimeStats` value.
+
+        Args:
+            queue_depth: current queue depth to embed in the snapshot.
+
+        Returns:
+            An immutable view; the collector keeps accumulating.
+        """
         with self._lock:
             uptime = time.perf_counter() - self._started
             all_latencies: List[float] = []

@@ -2,27 +2,51 @@
 
 The separation of logical program and mapping specification makes the
 search over mappings data: :class:`MappingSearchSpace` declares the
-candidate axes, and :func:`autotune` compiles candidates in parallel
-through the cached pass-manager pipeline and ranks them on the
-simulated GPU.
+candidate axes, :class:`AnalyticCostModel` predicts each candidate's
+latency and occupancy straight from the mapping arithmetic (no compiler
+pass executed), and :func:`autotune` runs the two-stage search — rank
+the whole space analytically, then compile and simulate only the top-k
+survivors through the cached pass-manager pipeline.
 
     from repro.tuner import MappingSearchSpace, autotune
     report = autotune(
         lambda m, **p: build_gemm(m, 4096, 4096, 4096, **p),
         hopper_machine(),
         MappingSearchSpace(),
+        top_k=5,                      # omit for the exhaustive sweep
     )
     print(report.summary())
     print(report.best.label())
+    print(report.spearman())          # predicted-vs-simulated honesty
+
+See ``docs/tuning.md`` for the full guide.
 """
 
-from repro.tuner.autotune import TuningReport, TuningResult, autotune
+from repro.tuner.autotune import (
+    SearchStats,
+    TuningReport,
+    TuningResult,
+    autotune,
+)
+from repro.tuner.costmodel import (
+    AGREEMENT_FACTOR,
+    AnalyticCostModel,
+    CostEstimate,
+    default_cost_model,
+    spearman,
+)
 from repro.tuner.search_space import MappingSearchSpace, wgmma_row_constraint
 
 __all__ = [
+    "AGREEMENT_FACTOR",
+    "AnalyticCostModel",
+    "CostEstimate",
     "MappingSearchSpace",
+    "SearchStats",
     "TuningReport",
     "TuningResult",
     "autotune",
+    "default_cost_model",
+    "spearman",
     "wgmma_row_constraint",
 ]

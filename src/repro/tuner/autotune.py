@@ -1,26 +1,48 @@
-"""The parallel mapping autotuner.
+"""The two-stage mapping autotuner.
 
 ``autotune`` turns the paper's "tuning is data, not code" observation
-into a subsystem: it sweeps a :class:`MappingSearchSpace`, builds one
-mapped kernel per candidate, batch-compiles them through
-``api.compile_many`` (sharing the content-keyed compile cache across
-workers), times each on the simulated GPU, and returns a ranked
-:class:`TuningReport`. Infeasible mappings — shared-memory
-over-subscription, invalid instance trees — are recorded as failures
-rather than aborting the sweep, mirroring how the compiler reports
-them instead of silently mis-compiling.
+into a subsystem, and makes the search cheap with a two-stage flow:
+
+1. **Score** every candidate in the :class:`MappingSearchSpace` with the
+   analytic cost model (:mod:`repro.tuner.costmodel`) — microseconds per
+   mapping, no compiler pass executed, verdicts memoized process-wide.
+   Cost-model-infeasible mappings (shared-memory overflow, WGMMA granule
+   violations) are recorded as failures without compiling.
+2. **Evaluate** the ``top_k`` best-ranked survivors (and/or as many as
+   fit a wall-clock ``budget``) the expensive way: batch-compile through
+   ``api.compile_many`` (sharing the content-keyed compile cache across
+   workers) and time each on the simulated GPU.
+
+With ``top_k=None`` and ``budget=None`` every candidate is fully
+evaluated (the exhaustive sweep of earlier revisions) — predictions are
+still attached, so the report can always quantify the model's honesty:
+:meth:`TuningReport.spearman` gives the rank correlation between
+predicted and simulated cycles, and the simulated survivors are fed
+back through :meth:`~repro.tuner.costmodel.AnalyticCostModel.observe`
+to calibrate the model's absolute scale.
+
+Infeasible mappings — whichever stage discovers them — are recorded as
+failures rather than aborting the sweep, mirroring how the compiler
+reports them instead of silently mis-compiling.
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 from repro import api
 from repro.compiler.passes import CompileOptions
 from repro.errors import CypressError
 from repro.kernels.common import KernelBuild
 from repro.machine.machine import MachineModel
+from repro.tuner.costmodel import (
+    AnalyticCostModel,
+    CostEstimate,
+    default_cost_model,
+    spearman,
+)
 from repro.tuner.search_space import MappingSearchSpace
 
 #: ``build_fn(machine, **candidate) -> KernelBuild``
@@ -29,18 +51,37 @@ BuildFn = Callable[..., KernelBuild]
 
 @dataclass
 class TuningResult:
-    """One candidate's outcome."""
+    """One candidate's outcome.
+
+    Attributes:
+        candidate: the swept parameter dict.
+        tflops: simulated throughput; ``None`` unless fully evaluated.
+        kernel_name: the built kernel's name, when building succeeded.
+        error: the failure message (builder, cost model, or compiler).
+        predicted_cycles / predicted_tflops: the cost model's stage-1
+            verdict (``None`` when the model could not score the
+            candidate).
+        simulated_cycles: the simulator's cycle count, when evaluated.
+        pruned: True when stage 1 ranked this feasible candidate below
+            the ``top_k``/``budget`` cut, so it was never compiled.
+    """
 
     candidate: Dict[str, Any]
     tflops: Optional[float] = None
     kernel_name: Optional[str] = None
     error: Optional[str] = None
+    predicted_cycles: Optional[float] = None
+    predicted_tflops: Optional[float] = None
+    simulated_cycles: Optional[float] = None
+    pruned: bool = False
 
     @property
     def ok(self) -> bool:
+        """Whether this candidate was fully compiled and simulated."""
         return self.tflops is not None
 
     def label(self) -> str:
+        """A compact human-readable tag for the candidate."""
         c = self.candidate
         parts = []
         shown = set()
@@ -60,13 +101,41 @@ class TuningResult:
 
 
 @dataclass
+class SearchStats:
+    """Where the sweep spent its effort.
+
+    Attributes:
+        candidates: total candidates enumerated from the space.
+        scored: candidates the cost model scored.
+        compiled: candidates fully compiled + simulated (stage 2).
+        pruned: feasible candidates dropped by ``top_k``/``budget``.
+        score_s: wall-clock seconds spent in stage 1.
+        evaluate_s: wall-clock seconds spent in stage 2.
+    """
+
+    candidates: int = 0
+    scored: int = 0
+    compiled: int = 0
+    pruned: int = 0
+    score_s: float = 0.0
+    evaluate_s: float = 0.0
+
+
+@dataclass
 class TuningReport:
-    """Ranked sweep results: feasible candidates first, best on top."""
+    """Ranked sweep results: simulated candidates first, best on top,
+    then pruned candidates by predicted throughput, then failures."""
 
     results: List[TuningResult] = field(default_factory=list)
+    search: SearchStats = field(default_factory=SearchStats)
 
     @property
     def best(self) -> TuningResult:
+        """The best fully evaluated candidate.
+
+        Raises:
+            CypressError: when no candidate was feasible.
+        """
         for result in self.results:
             if result.ok:
                 return result
@@ -76,21 +145,73 @@ class TuningReport:
 
     @property
     def feasible(self) -> List[TuningResult]:
+        """Fully evaluated candidates, best first."""
         return [r for r in self.results if r.ok]
 
     @property
     def failed(self) -> List[TuningResult]:
-        return [r for r in self.results if not r.ok]
+        """Candidates that could not be built, scored, or compiled."""
+        return [r for r in self.results if not r.ok and not r.pruned]
+
+    @property
+    def pruned(self) -> List[TuningResult]:
+        """Feasible candidates stage 1 ranked below the cut."""
+        return [r for r in self.results if r.pruned]
+
+    def spearman(self) -> Optional[float]:
+        """Rank correlation between predicted and simulated cycles.
+
+        Returns:
+            The Spearman coefficient over candidates carrying both
+            numbers, or ``None`` when fewer than two do. This is the
+            honesty metric of the two-stage search: a high value means
+            stage-1 pruning agrees with what full evaluation would have
+            chosen.
+        """
+        pairs = [
+            (r.predicted_cycles, r.simulated_cycles)
+            for r in self.results
+            if r.predicted_cycles is not None
+            and r.simulated_cycles is not None
+        ]
+        if len(pairs) < 2:
+            return None
+        return spearman([p for p, _ in pairs], [s for _, s in pairs])
+
+    def prediction_error(self) -> Optional[float]:
+        """Mean absolute relative error of predicted vs simulated cycles
+        over the evaluated candidates (``None`` without samples)."""
+        errs = [
+            abs(r.simulated_cycles / r.predicted_cycles - 1.0)
+            for r in self.results
+            if r.predicted_cycles and r.simulated_cycles
+        ]
+        if not errs:
+            return None
+        return sum(errs) / len(errs)
 
     def summary(self) -> str:
         """A ranked table in the style of the paper's exploration."""
-        lines = [f"{'mapping':<40} {'TFLOP/s':>9}"]
+        lines = [f"{'mapping':<40} {'TFLOP/s':>9} {'predicted':>10}"]
         for result in self.results:
+            predicted = (
+                f"{result.predicted_tflops:>10.1f}"
+                if result.predicted_tflops is not None
+                else f"{'—':>10}"
+            )
             if result.ok:
-                lines.append(f"{result.label():<40} {result.tflops:>9.1f}")
+                lines.append(
+                    f"{result.label():<40} {result.tflops:>9.1f} {predicted}"
+                )
+            elif result.pruned:
+                lines.append(
+                    f"{result.label():<40} {'pruned':>9} {predicted}"
+                )
             else:
                 reason = (result.error or "").split(";")[0][:34]
-                lines.append(f"{result.label():<40}      — ({reason})")
+                lines.append(
+                    f"{result.label():<40}      — ({reason})"
+                )
         return "\n".join(lines)
 
 
@@ -103,6 +224,10 @@ def autotune(
     executor: str = "thread",
     max_workers: Optional[int] = None,
     simulate_machine: Optional[MachineModel] = None,
+    cost_model: Optional[AnalyticCostModel] = None,
+    top_k: Optional[int] = None,
+    budget: Optional[float] = None,
+    calibrate: bool = True,
 ) -> TuningReport:
     """Sweep a mapping search space and rank candidates by throughput.
 
@@ -117,15 +242,47 @@ def autotune(
             compiler and wants throughput).
         executor / max_workers: forwarded to ``api.compile_many``.
         simulate_machine: machine for timing; defaults to ``machine``.
+        cost_model: the analytic model used for stage-1 ranking and
+            prediction reporting; defaults to the process-wide
+            :data:`~repro.tuner.costmodel.default_cost_model`, so
+            calibration accumulates across sweeps.
+        top_k: fully evaluate only the ``top_k`` cost-model-ranked
+            survivors. ``None`` evaluates every feasible candidate
+            (the exhaustive sweep).
+        budget: wall-clock seconds allowed for stage 2. Survivors are
+            evaluated in predicted-rank order, one compile batch at a
+            time, until the budget is exhausted (at least one batch
+            always runs). ``None`` means unlimited. Whatever the
+            knobs say, evaluation keeps walking down the ranking while
+            *nothing* has compiled successfully, so a cost-model blind
+            spot degrades toward the exhaustive sweep instead of
+            returning a report whose ``best`` raises.
+        calibrate: feed simulated outcomes back into ``cost_model`` so
+            repeated sweeps tighten its absolute scale.
+
+    Returns:
+        A :class:`TuningReport` with simulated candidates ranked first,
+        pruned candidates next (by predicted throughput), failures last.
+
+    Raises:
+        CypressError: only for infrastructure failures (e.g. an unknown
+            ``executor``); per-candidate problems are recorded in the
+            report, never raised.
     """
     if options is None:
         options = CompileOptions(verify="ends")
     simulate_machine = simulate_machine or machine
+    model = cost_model if cost_model is not None else default_cost_model
+    two_stage = top_k is not None or budget is not None
 
     candidates = space.as_list()
+    stats = SearchStats(candidates=len(candidates))
     results: List[TuningResult] = []
-    builds: List[KernelBuild] = []
-    build_slots: List[int] = []
+    builds: Dict[int, KernelBuild] = {}
+    estimates: Dict[int, CostEstimate] = {}
+
+    # -- build + stage 1: analytic scoring -----------------------------
+    score_start = time.perf_counter()
     for index, candidate in enumerate(candidates):
         results.append(TuningResult(candidate=candidate))
         try:
@@ -137,23 +294,143 @@ def autotune(
             results[index].error = str(error)
             continue
         results[index].kernel_name = build.name
-        builds.append(build)
-        build_slots.append(index)
+        builds[index] = build
+        # Score against the machine stage 2 will *time on*, so the
+        # pruning cut ranks the same quantity the sweep optimizes.
+        estimate = model.score(build, simulate_machine)
+        estimates[index] = estimate
+        stats.scored += 1
+        if estimate.feasible:
+            # Raw verdicts get the per-family calibration at reporting
+            # time (the scale the pruning decision actually used).
+            results[index].predicted_cycles = model.calibrated_cycles(
+                estimate
+            )
+            results[index].predicted_tflops = model.calibrated_tflops(
+                estimate
+            )
+        elif two_stage:
+            # Stage 1 rejects without compiling; the exhaustive sweep
+            # still compiles so the compiler's own message is recorded.
+            results[index].error = f"cost model: {estimate.reason}"
+            builds.pop(index)
+    stats.score_s = time.perf_counter() - score_start
 
-    kernels = api.compile_many(
-        builds,
+    # -- stage 2: compile + simulate down the ranking ------------------
+    ranked = list(builds)
+    if two_stage:
+        ranked.sort(
+            key=lambda i: results[i].predicted_cycles
+            if results[i].predicted_cycles is not None
+            else float("inf")
+        )
+    evaluate_start = time.perf_counter()
+    evaluated = _evaluate(
+        [(i, builds[i]) for i in ranked],
+        results,
+        simulate_machine,
         options=options,
         executor=executor,
         max_workers=max_workers,
-        raise_on_error=False,
+        top_k=top_k if two_stage else None,
+        budget=budget,
+        start=evaluate_start,
     )
-    for index, kernel in zip(build_slots, kernels):
-        if isinstance(kernel, api.CompileFailure):
-            results[index].error = str(kernel.error)
-            continue
-        results[index].tflops = api.simulate(
-            kernel, simulate_machine
-        ).tflops
+    for index in ranked:
+        if index not in evaluated:
+            results[index].pruned = True
+    stats.evaluate_s = time.perf_counter() - evaluate_start
+    stats.compiled = len(evaluated)
+    stats.pruned = sum(1 for r in results if r.pruned)
 
-    results.sort(key=lambda r: -(r.tflops if r.ok else float("-inf")))
-    return TuningReport(results=results)
+    if calibrate:
+        for index in evaluated:
+            result = results[index]
+            if result.ok and index in estimates:
+                model.observe(estimates[index], result.simulated_cycles)
+
+    results.sort(key=_rank_key)
+    return TuningReport(results=results, search=stats)
+
+
+def _evaluate(
+    jobs: List[Tuple[int, KernelBuild]],
+    results: List[TuningResult],
+    simulate_machine: MachineModel,
+    *,
+    options: CompileOptions,
+    executor: str,
+    max_workers: Optional[int],
+    top_k: Optional[int],
+    budget: Optional[float],
+    start: float,
+) -> List[int]:
+    """Compile + simulate ``jobs`` in rank order under the knobs.
+
+    Returns the indices actually evaluated. With neither knob the whole
+    list is one ``compile_many`` batch (the exhaustive sweep's full
+    parallelism). Otherwise batches run down the ranking until
+    ``top_k`` candidates are evaluated and/or the ``budget`` expires —
+    but **never stop while nothing has compiled successfully**: a
+    cost-model blind spot among the top-ranked candidates must degrade
+    toward the exhaustive sweep, not sink the whole search.
+    """
+    if not jobs:
+        return []
+    evaluated: List[int] = []
+    succeeded = 0
+
+    def run(chunk: List[Tuple[int, KernelBuild]]) -> None:
+        nonlocal succeeded
+        kernels = api.compile_many(
+            [build for _, build in chunk],
+            options=options,
+            executor=executor,
+            max_workers=max_workers,
+            raise_on_error=False,
+        )
+        for (index, _build), kernel in zip(chunk, kernels):
+            evaluated.append(index)
+            if isinstance(kernel, api.CompileFailure):
+                results[index].error = str(kernel.error)
+                continue
+            gpu = api.simulate(kernel, simulate_machine)
+            results[index].tflops = gpu.tflops
+            results[index].simulated_cycles = gpu.cycles
+            succeeded += 1
+
+    if top_k is None and budget is None:
+        run(jobs)
+        return evaluated
+
+    width = max_workers or 8
+    queue = list(jobs)
+    while queue:
+        if succeeded > 0:
+            # Compile failures don't count toward the contract: top_k
+            # promises that many candidates fully evaluated, so the
+            # walk refills past rejected ones.
+            if top_k is not None and succeeded >= top_k:
+                break
+            if (
+                budget is not None
+                and evaluated
+                and time.perf_counter() - start >= budget
+            ):
+                break
+        take = width
+        if top_k is not None and succeeded < top_k:
+            take = min(take, top_k - succeeded)
+        run(queue[: max(1, take)])
+        queue = queue[max(1, take):]
+    return evaluated
+
+
+def _rank_key(result: TuningResult) -> Tuple[int, float]:
+    """Simulated first (fastest on top), then pruned by prediction,
+    then failures."""
+    if result.ok:
+        return (0, -result.tflops)
+    if result.pruned:
+        return (1, -(result.predicted_tflops or 0.0))
+    return (2, 0.0)

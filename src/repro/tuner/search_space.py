@@ -81,4 +81,5 @@ class MappingSearchSpace:
         return sum(1 for _ in self.candidates())
 
     def as_list(self) -> List[Dict[str, Any]]:
+        """Materialize :meth:`candidates` as a list."""
         return list(self.candidates())

@@ -1,0 +1,25 @@
+"""Small shared formatting helpers.
+
+Statistics objects across the subsystems (the compile cache's
+:class:`~repro.compiler.cache.CacheStats`, the runtime's
+:class:`~repro.runtime.telemetry.RuntimeStats`) render rates for
+humans; they must all do it the same way, so the one formatter lives
+here. ``docs/serving.md`` documents every stats field these renderers
+expose.
+"""
+
+from __future__ import annotations
+
+
+def fmt_percent(fraction: float, digits: int = 0) -> str:
+    """Format a fraction in [0, 1] as a percentage string.
+
+    Args:
+        fraction: the rate to render (0.42 -> ``"42%"``).
+        digits: decimal places to keep (default 0).
+
+    Returns:
+        The percentage with a trailing ``%``, e.g. ``"42%"`` or
+        ``"41.7%"``.
+    """
+    return f"{fraction * 100.0:.{digits}f}%"

@@ -1,0 +1,127 @@
+"""Documentation contracts: docstring coverage and markdown links.
+
+The ``docs-check`` CI job runs exactly this module. It enforces two
+invariants so documentation cannot silently regress:
+
+1. every public symbol of ``repro.api``, ``repro.tuner``, and
+   ``repro.runtime`` (and their public methods) carries a non-empty
+   docstring;
+2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
+   other root guides resolves to an existing file.
+"""
+
+import inspect
+import re
+from pathlib import Path
+
+import pytest
+
+import repro.api
+import repro.runtime
+import repro.tuner
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+PUBLIC_MODULES = (repro.api, repro.tuner, repro.runtime)
+
+#: Inherited members whose docstrings come from the standard library.
+_SKIP_METHODS = {"__init__"}
+
+
+def _public_symbols(module):
+    names = getattr(module, "__all__", None)
+    if names is None:
+        names = [n for n in dir(module) if not n.startswith("_")]
+    for name in names:
+        obj = getattr(module, name)
+        if inspect.isfunction(obj) or inspect.isclass(obj):
+            yield name, obj
+
+
+def _public_methods(cls):
+    for name, member in vars(cls).items():
+        if name.startswith("_") or name in _SKIP_METHODS:
+            continue
+        if isinstance(member, property):
+            yield name, member.fget
+        elif inspect.isfunction(member) or isinstance(
+            member, (classmethod, staticmethod)
+        ):
+            yield name, member
+
+
+class TestDocstringCoverage:
+    @pytest.mark.parametrize(
+        "module", PUBLIC_MODULES, ids=lambda m: m.__name__
+    )
+    def test_module_docstring(self, module):
+        assert module.__doc__ and module.__doc__.strip()
+
+    @pytest.mark.parametrize(
+        "module", PUBLIC_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_public_symbol_documented(self, module):
+        missing = [
+            f"{module.__name__}.{name}"
+            for name, obj in _public_symbols(module)
+            if not inspect.getdoc(obj)
+        ]
+        assert not missing, f"undocumented public symbols: {missing}"
+
+    @pytest.mark.parametrize(
+        "module", PUBLIC_MODULES, ids=lambda m: m.__name__
+    )
+    def test_every_public_method_documented(self, module):
+        missing = []
+        for name, obj in _public_symbols(module):
+            if not inspect.isclass(obj):
+                continue
+            for mname, method in _public_methods(obj):
+                fn = (
+                    method.__func__
+                    if isinstance(method, (classmethod, staticmethod))
+                    else method
+                )
+                if fn is not None and not inspect.getdoc(fn):
+                    missing.append(f"{module.__name__}.{name}.{mname}")
+        assert not missing, f"undocumented public methods: {missing}"
+
+
+_LINK = re.compile(r"\[[^\]]*\]\(([^)\s]+)\)")
+
+
+def _markdown_files():
+    files = sorted(REPO_ROOT.glob("*.md"))
+    files += sorted((REPO_ROOT / "docs").glob("*.md"))
+    return files
+
+
+class TestMarkdownLinks:
+    def test_docs_tree_exists(self):
+        for guide in ("architecture.md", "tuning.md", "serving.md"):
+            assert (REPO_ROOT / "docs" / guide).exists(), guide
+
+    @pytest.mark.parametrize(
+        "path", _markdown_files(), ids=lambda p: str(p.relative_to(REPO_ROOT))
+    )
+    def test_intra_repo_links_resolve(self, path):
+        broken = []
+        for target in _LINK.findall(path.read_text()):
+            if target.startswith(("http://", "https://", "mailto:")):
+                continue
+            target = target.split("#")[0]
+            if not target:
+                continue  # pure anchor
+            resolved = (path.parent / target).resolve()
+            if not resolved.exists():
+                broken.append(target)
+        assert not broken, f"{path.name}: broken links {broken}"
+
+    def test_readme_links_the_three_guides(self):
+        readme = (REPO_ROOT / "README.md").read_text()
+        for guide in (
+            "docs/architecture.md",
+            "docs/tuning.md",
+            "docs/serving.md",
+        ):
+            assert guide in readme, f"README must link {guide}"

@@ -1,0 +1,67 @@
+"""Smoke tests: the narrative examples run end to end.
+
+``examples/*.py`` double as user documentation, so they must stay
+runnable. ``quickstart.py`` and ``mapping_tuning.py`` are exercised
+here under a tiny configuration (small shapes, a two-candidate search
+space) so the whole suite stays fast; the remaining examples are
+covered by their docstring contract in ``tests/test_docs.py``.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+from repro.tuner import MappingSearchSpace
+
+EXAMPLES_DIR = Path(__file__).resolve().parent.parent / "examples"
+
+
+def _load_example(name: str):
+    spec = importlib.util.spec_from_file_location(
+        f"examples_{name}", EXAMPLES_DIR / f"{name}.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    sys.modules[spec.name] = module
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def tiny_space():
+    return MappingSearchSpace(
+        tiles=((128, 128),),
+        tile_k=(64,),
+        warpgroups=(1, 2),
+        pipeline_depths=(1,),
+        warpspecialize=(False,),
+    )
+
+
+def test_quickstart_runs_tiny(capsys):
+    example = _load_example("quickstart")
+    example.main(check_shape=(256, 256, 128), sim_sizes=(512,))
+    out = capsys.readouterr().out
+    assert "max |error| vs numpy" in out
+    assert "TFLOP/s" in out
+
+
+def test_mapping_tuning_runs_tiny(capsys, tiny_space):
+    example = _load_example("mapping_tuning")
+    example.main(size=512, space=tiny_space, top_k=1)
+    out = capsys.readouterr().out
+    assert "best mapping" in out
+    assert "spearman" in out
+
+
+def test_every_example_documents_its_output():
+    for path in sorted(EXAMPLES_DIR.glob("*.py")):
+        source = path.read_text()
+        head = source.split('"""')[1] if '"""' in source else ""
+        assert "Expected output" in head, (
+            f"{path.name} must document its expected output shape"
+        )
+        assert "What it demonstrates" in head, (
+            f"{path.name} must explain what it demonstrates"
+        )
