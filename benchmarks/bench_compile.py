@@ -1,0 +1,146 @@
+"""Compile-latency benchmark: cold/warm wall time per kernel family.
+
+PR 4 replaced coordinate-enumeration aliasing (Python tuple sets over
+every tensor element) with the symbolic region algebra
+(`src/repro/tensors/regions.py`), which turned dependence analysis from
+87% of a cold ``compile_kernel`` into noise. This benchmark pins that
+win down and guards it:
+
+* cold and warm compile wall time for every kernel family in the zoo
+  (gemm, batched, dual, reduction, fa2, fa3) at flagship sizes;
+* a ``prange``-disjointness microbenchmark — the symbolic proof versus
+  the enumeration-style materialized check on the flagship gemm's
+  output tiling;
+* an explicit regression gate: cold gemm 4096^3 must stay under
+  ``COLD_GEMM_BUDGET_S`` (the pre-PR measurement was ~0.39s; the
+  budget is generous so CI machines don't flake, but an accidental
+  return of the O(elements) path blows straight through it).
+
+Writes ``benchmarks/BENCH_compile.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import api
+from repro.kernels import (
+    build_batched_gemm,
+    build_dual_gemm,
+    build_flash_attention2,
+    build_flash_attention3,
+    build_gemm,
+    build_gemm_reduction,
+)
+
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_compile.json"
+
+#: Cold-compile regression budget for the flagship gemm (seconds). The
+#: enumeration hot path measured ~0.39s; the algebra lands well under
+#: 80ms on the reference machine.
+COLD_GEMM_BUDGET_S = 0.25
+
+#: One flagship instantiation per kernel family.
+FAMILIES = {
+    "gemm": lambda m: build_gemm(m, 4096, 4096, 4096),
+    "batched_gemm": lambda m: build_batched_gemm(m, 8, 2048, 2048, 2048),
+    "dual_gemm": lambda m: build_dual_gemm(m, 2048, 2048, 2048),
+    "gemm_reduction": lambda m: build_gemm_reduction(m, 2048, 2048, 2048),
+    "fa2": lambda m: build_flash_attention2(m, 8, 4096),
+    "fa3": lambda m: build_flash_attention3(m, 8, 4096),
+}
+
+
+def _time_compile(builder, machine):
+    api.clear_compile_cache()
+    build = builder(machine)
+    start = time.perf_counter()
+    api.compile_kernel(build)
+    cold_s = time.perf_counter() - start
+    rebuilt = builder(machine)
+    start = time.perf_counter()
+    api.compile_kernel(rebuilt)
+    warm_s = time.perf_counter() - start
+    return cold_s, warm_s
+
+
+def _disjointness_microbench(machine):
+    """Symbolic proof vs materialized check on the gemm output tiling."""
+    from repro.sym import Var
+    from repro.tensors import (
+        LogicalTensor,
+        f16,
+        partition_by_blocks,
+        prove_iterations_disjoint,
+    )
+    from repro.tensors.regions import rows_intersect
+
+    root = LogicalTensor("c", (4096, 4096), f16)
+    part = partition_by_blocks(root, (256, 256))
+    i, j = Var("i"), Var("j")
+    ref = part[i, j]
+    domain = (("i", 16), ("j", 16))
+
+    start = time.perf_counter()
+    rounds = 100
+    for _ in range(rounds):
+        assert prove_iterations_disjoint(ref, ref, domain)
+    symbolic_s = (time.perf_counter() - start) / rounds
+
+    a, b = part[0, 0], part[0, 1]
+    start = time.perf_counter()
+    for _ in range(10):
+        assert not rows_intersect(
+            a.element_coords().reshape(-1, 2),
+            b.element_coords().reshape(-1, 2),
+        )
+    materialized_s = (time.perf_counter() - start) / 10
+
+    start = time.perf_counter()
+    for _ in range(1000):
+        assert not a.may_alias(b)
+    algebra_s = (time.perf_counter() - start) / 1000
+
+    return {
+        "symbolic_proof_s": symbolic_s,
+        "region_algebra_pairwise_s": algebra_s,
+        "materialized_pairwise_s": materialized_s,
+        "pairwise_speedup": (
+            materialized_s / algebra_s if algebra_s else 0.0
+        ),
+    }
+
+
+def test_compile_latency_trajectory(machine):
+    families = {}
+    for name, builder in FAMILIES.items():
+        cold_s, warm_s = _time_compile(builder, machine)
+        families[name] = {"cold_s": cold_s, "warm_s": warm_s}
+        print(
+            f"{name:<16} cold {cold_s * 1e3:8.1f} ms   "
+            f"warm {warm_s * 1e3:8.3f} ms"
+        )
+
+    micro = _disjointness_microbench(machine)
+    print(
+        f"disjointness: symbolic {micro['symbolic_proof_s'] * 1e6:.0f} us"
+        f" | algebra pair {micro['region_algebra_pairwise_s'] * 1e6:.0f} us"
+        f" | materialized pair "
+        f"{micro['materialized_pairwise_s'] * 1e3:.1f} ms"
+        f" (x{micro['pairwise_speedup']:.0f})"
+    )
+
+    gemm_cold = families["gemm"]["cold_s"]
+    assert gemm_cold <= COLD_GEMM_BUDGET_S, (
+        f"cold gemm compile took {gemm_cold:.3f}s — the enumeration "
+        f"hot path is back (budget {COLD_GEMM_BUDGET_S}s)"
+    )
+
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "cold_gemm_budget_s": COLD_GEMM_BUDGET_S,
+        "pre_pr_cold_gemm_s": 0.39,
+        "families": families,
+        "disjointness_check": micro,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

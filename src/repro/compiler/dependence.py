@@ -34,6 +34,7 @@ from repro.machine.memory import MemoryKind
 from repro.machine.processor import ProcessorKind, depth_of
 from repro.sym import Var
 from repro.tensors.dtype import DType
+from repro.tensors.regions import prove_iterations_disjoint
 from repro.tensors.tensor import TensorRef
 
 
@@ -324,9 +325,14 @@ class DependenceAnalysis:
     ) -> None:
         """Verify parallel iterations perform no aliasing writes.
 
-        Exact for concrete references; symbolic indices are checked by
-        sampling iteration pairs (first, second, last), which catches the
-        common off-by-one tiling errors.
+        Write pairs are first proved disjoint *analytically* over the
+        whole iteration domain by the region algebra
+        (:func:`repro.tensors.regions.prove_iterations_disjoint` — the
+        affine separating-axis argument); only pairs the proof cannot
+        resolve fall back to sampling iteration pairs (first, second,
+        last), which catches the common off-by-one tiling errors. The
+        fallback's verdicts are those of :meth:`TensorRef.may_alias`,
+        so they can never be weaker than coordinate enumeration.
         """
         writes: List[Tuple[TensorRef, Privilege]] = []
         for inner in stmt.body:
@@ -342,18 +348,27 @@ class DependenceAnalysis:
                     writes.append((ref, privilege))
         if not writes:
             return
-        samples = self._sample_envs(stmt)
+        loop_vars = {v.name for v in stmt.indices}
         for ref, _ in writes:
-            free = ref.free_variables()
-            loop_vars = {v.name for v in stmt.indices}
-            if not free & loop_vars:
+            if not ref.free_variables() & loop_vars:
                 raise PrivilegeError(
                     f"prange in instance {mapping.instance!r} writes "
                     f"{ref!r} identically from every iteration"
                 )
-        for (ref_a, _), (ref_b, _) in itertools.combinations_with_replacement(
-            writes, 2
-        ):
+        domain = tuple(
+            (var.name, extent)
+            for var, extent in zip(stmt.indices, stmt.extents)
+        )
+        unresolved = [
+            (ref_a, ref_b)
+            for (ref_a, _), (ref_b, _)
+            in itertools.combinations_with_replacement(writes, 2)
+            if not prove_iterations_disjoint(ref_a, ref_b, domain)
+        ]
+        if not unresolved:
+            return
+        samples = self._sample_envs(stmt)
+        for ref_a, ref_b in unresolved:
             for env_a, env_b in itertools.combinations(samples, 2):
                 try:
                     a = _bind(ref_a, env_a)

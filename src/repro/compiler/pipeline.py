@@ -20,7 +20,6 @@ compatibility; new code should pass a
 
 from __future__ import annotations
 
-import copy
 import dataclasses
 from dataclasses import dataclass, field
 from typing import Any, Dict, Optional, Sequence, Tuple
@@ -38,6 +37,7 @@ from repro.compiler.warpspec import WarpSpecReport
 from repro.errors import CompileError
 from repro.frontend.mapping import MappingSpec, TaskMapping
 from repro.gpusim.kernel import KernelSchedule
+from repro.ir.clone import clone_function
 from repro.ir.module import IRFunction
 from repro.machine.processor import ProcessorKind
 from repro.tensors.dtype import DType
@@ -162,7 +162,9 @@ def _compile_uncached(
 ) -> CompiledKernel:
     analysis = DependenceAnalysis(spec, name)
     fn = analysis.run(arg_shapes, arg_dtypes, options.scalar_args)
-    dependence_ir = copy.deepcopy(fn)
+    # Snapshot the pre-pass IR by cloning only the nodes passes mutate
+    # (ops, blocks, events, buffers) — not a whole-module deepcopy.
+    dependence_ir = clone_function(fn)
 
     ctx = PassContext(
         spec=spec,

@@ -28,6 +28,7 @@ from repro.ir.ops import (
     Operation,
     PForOp,
 )
+from repro.ir.clone import clone_function
 from repro.ir.module import Buffer, IRFunction
 from repro.ir.printer import print_function
 from repro.ir.verifier import verify_function
@@ -48,6 +49,7 @@ __all__ = [
     "Block",
     "Buffer",
     "IRFunction",
+    "clone_function",
     "print_function",
     "verify_function",
 ]

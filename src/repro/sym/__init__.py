@@ -14,6 +14,7 @@ from repro.sym.expr import (
     Expr,
     ProcIndex,
     Var,
+    affine_form,
     cdiv,
     evaluate,
     simplify,
@@ -28,6 +29,7 @@ __all__ = [
     "Expr",
     "ProcIndex",
     "Var",
+    "affine_form",
     "cdiv",
     "evaluate",
     "simplify",

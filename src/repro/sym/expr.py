@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import operator
 from dataclasses import dataclass
-from typing import Callable, Dict, Mapping, Set, Union
+from typing import Callable, Dict, Mapping, Optional, Set, Tuple, Union
 
 IntoExpr = Union["Expr", int]
 
@@ -196,6 +196,58 @@ def substitute(expr: IntoExpr, bindings: Mapping[str, Expr]) -> Expr:
             )
         )
     raise TypeError(f"unknown expression node {expr!r}")
+
+
+def affine_form(expr: IntoExpr) -> "Optional[Tuple[int, Dict[str, int]]]":
+    """Decompose ``expr`` into ``constant + sum(coeff * var)``, or ``None``.
+
+    Returns ``(constant, {name: coeff})`` when the expression is an
+    affine combination of variables (and processor indices, keyed by
+    their level name) with integer coefficients; ``None`` when any
+    non-affine operator (``//``, ``%``, ``min``, ``max``, ``cdiv`` over
+    symbolic operands, or a product of two symbolic terms) appears. The
+    region algebra uses this to reason about partition indices without
+    enumerating iteration environments.
+    """
+    expr = to_expr(expr)
+    if isinstance(expr, Const):
+        return expr.value, {}
+    if isinstance(expr, Var):
+        return 0, {expr.name: 1}
+    if isinstance(expr, ProcIndex):
+        return 0, {expr.level: 1}
+    if not isinstance(expr, BinOp):
+        return None
+    lhs = affine_form(expr.lhs)
+    rhs = affine_form(expr.rhs)
+    if lhs is None or rhs is None:
+        return None
+    lc, lv = lhs
+    rc, rv = rhs
+    if expr.op == "+":
+        return lc + rc, _merge_coeffs(lv, rv, 1)
+    if expr.op == "-":
+        return lc - rc, _merge_coeffs(lv, rv, -1)
+    if expr.op == "*":
+        if not rv:  # symbolic * constant
+            return lc * rc, {n: c * rc for n, c in lv.items() if c * rc}
+        if not lv:  # constant * symbolic
+            return lc * rc, {n: c * lc for n, c in rv.items() if c * lc}
+        return None
+    return None  # //, %, cdiv, min, max are not affine
+
+
+def _merge_coeffs(
+    lhs: Dict[str, int], rhs: Dict[str, int], sign: int
+) -> Dict[str, int]:
+    out = dict(lhs)
+    for name, coeff in rhs.items():
+        merged = out.get(name, 0) + sign * coeff
+        if merged:
+            out[name] = merged
+        else:
+            out.pop(name, None)
+    return out
 
 
 def variables(expr: IntoExpr) -> Set[str]:

@@ -7,6 +7,16 @@ logical tensors, and the two partitioning operators ``blocks`` and
 """
 
 from repro.tensors.dtype import DType, f16, f32, bf16, f64, i32
+from repro.tensors.regions import (
+    Box,
+    Dim,
+    Region,
+    SymDim,
+    prove_iterations_disjoint,
+    region_of,
+    rows_intersect,
+    symbolic_box,
+)
 from repro.tensors.layout import Layout, coalesce, complement, composition
 from repro.tensors.swizzle import Swizzle, bank_conflict_ways
 from repro.tensors.tensor import LogicalTensor, TensorRef
@@ -41,6 +51,14 @@ __all__ = [
     "bank_conflict_ways",
     "LogicalTensor",
     "TensorRef",
+    "Box",
+    "Dim",
+    "Region",
+    "SymDim",
+    "prove_iterations_disjoint",
+    "region_of",
+    "rows_intersect",
+    "symbolic_box",
     "Partition",
     "BlocksPartition",
     "SqueezePartition",

@@ -195,6 +195,52 @@ class MmaPartition(Partition):
             out[..., 1] = _fragment_col(coords[..., 1], t)
         return out
 
+    def map_dims(self, dims, index):
+        """Fragment pieces as strided boxes of the Figure-4 pattern.
+
+        Warp-level pieces are dense row bands (or replicated views);
+        thread-level fragments are period-8 strided rows/columns.
+        Incoming dimensions that are not dense (a fragment further
+        partitioned into non-contiguous pieces) are declined, sending
+        aliasing checks to the materialized fallback.
+        """
+        from repro.tensors.regions import Dim
+
+        (thread,) = index
+        rows_dim, cols_dim = dims
+        if self.proc is ProcessorKind.WARP:
+            if self.operand == "B":
+                return dims  # replicated across warps
+            rows_per_warp = self.source.shape[0] // WARPS_PER_WARPGROUP
+            return (rows_dim.shifted(thread * rows_per_warp), cols_dim)
+        if self.operand in ("A", "C"):
+            if not rows_dim.is_dense:
+                return None
+            rows = Dim(
+                ROW_GROUP * rows_dim.lo + thread // 4,
+                ROW_GROUP,
+                rows_dim.span,
+                1,
+            )
+        else:
+            rows = rows_dim
+        if self.operand in ("B", "C"):
+            if (
+                not cols_dim.is_dense
+                or cols_dim.lo % 2
+                or cols_dim.span % 2
+            ):
+                return None
+            cols = Dim(
+                COL_GROUP * (cols_dim.lo // 2) + 2 * (thread % 4),
+                COL_GROUP,
+                cols_dim.span // 2,
+                2,
+            )
+        else:
+            cols = cols_dim
+        return (rows, cols)
+
     def __repr__(self) -> str:
         return (
             f"mma({self.source!r}, {self.atom}, {self.proc.name}, "

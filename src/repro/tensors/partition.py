@@ -56,6 +56,32 @@ class Partition:
         raise NotImplementedError
 
     # ------------------------------------------------------------------
+    # Region algebra (repro.tensors.regions)
+    # ------------------------------------------------------------------
+    def map_dims(self, dims, index):
+        """Map piece-space interval dims to source-space dims.
+
+        ``dims`` is one :class:`~repro.tensors.regions.Dim` per piece
+        axis; ``index`` is the concrete piece index. Partitions whose
+        pieces cannot be expressed as strided interval boxes return
+        ``None`` (the default), which makes aliasing checks fall back
+        to vectorized coordinate materialization.
+        """
+        return None
+
+    def map_symbolic_dims(self, dims, index):
+        """Map affine piece bounds to source bounds, or ``None``.
+
+        ``dims`` is one :class:`~repro.tensors.regions.SymDim` per
+        piece axis; ``index`` holds the ``(const, coeffs)`` affine
+        decomposition of each index expression. Only partitions whose
+        pieces stay dense boxes under affine offsets can implement
+        this; the default declines, which sends the ``prange``
+        disjointness check to its sampling fallback.
+        """
+        return None
+
+    # ------------------------------------------------------------------
     # Indexing
     # ------------------------------------------------------------------
     def __getitem__(self, index) -> TensorRef:
@@ -158,6 +184,29 @@ class BlocksPartition(Partition):
         )
         return coords + offsets
 
+    def map_dims(self, dims, index):
+        """Blocks pieces translate: shift every axis by ``index*block``."""
+        return tuple(
+            dim.shifted(i * block)
+            for dim, i, block in zip(dims, index, self.block_shape)
+        )
+
+    def map_symbolic_dims(self, dims, index):
+        """Affine translation: add ``block * index`` to each axis bound."""
+        from repro.tensors.regions import SymDim
+
+        out = []
+        for dim, (const, coeffs), block in zip(
+            dims, index, self.block_shape
+        ):
+            merged = dict(dim.coeffs)
+            for name, coeff in coeffs.items():
+                merged[name] = merged.get(name, 0) + coeff * block
+            out.append(
+                SymDim(dim.const + const * block, merged, dim.span)
+            )
+        return tuple(out)
+
 
 def partition_by_blocks(
     tensor: Union[LogicalTensor, TensorRef], block_shape: Sequence[int]
@@ -204,6 +253,26 @@ class SqueezePartition(Partition):
         for piece_axis, source_axis in enumerate(self.kept):
             out[..., source_axis] = coords[..., piece_axis]
         return out
+
+    def map_dims(self, dims, index):
+        """Re-insert the squeezed unit axes at coordinate zero."""
+        from repro.tensors.regions import Dim
+
+        by_axis = dict(zip(self.kept, dims))
+        return tuple(
+            by_axis.get(axis, Dim(0, 1, 1, 1))
+            for axis in range(self.source.rank)
+        )
+
+    def map_symbolic_dims(self, dims, index):
+        """Unit axes pin to zero; kept axes pass bounds through."""
+        from repro.tensors.regions import SymDim
+
+        by_axis = dict(zip(self.kept, dims))
+        return tuple(
+            by_axis.get(axis, SymDim(0, {}, 1))
+            for axis in range(self.source.rank)
+        )
 
 
 def squeeze(tensor: Union[LogicalTensor, TensorRef]) -> TensorRef:

@@ -160,6 +160,46 @@ class TensorRef:
             coords = partition.map_coords(coords, concrete)
         return coords
 
+    def _slice_template(self):
+        """Cached affine bounds when this reference is a dense box.
+
+        Pure ``blocks``/``squeeze`` chains select axis-aligned dense
+        boxes whose low corner is affine in the path's symbolic
+        indices; the decomposition (one ``SymDim`` per root axis,
+        memoized by ``symbolic_box``) is computed once per reference
+        and reused across every environment the executor binds.
+        ``None`` marks references the algebra cannot slice (strided
+        ``mma`` fragments, unsupported partition kinds).
+        """
+        from repro.tensors.regions import symbolic_box
+
+        return symbolic_box(self)
+
+    def _dense_slices(
+        self, env: Optional[Mapping[str, int]]
+    ) -> Optional[Tuple[slice, ...]]:
+        """Per-root-axis slices when the region is one dense box.
+
+        The functional executor's hot path: numpy basic slicing
+        reaches dense boxes as views — no gather/scatter index
+        arrays. Returns ``None`` for strided fragments, unsupported
+        partition kinds, or unbound symbolic indices.
+        """
+        template = self._slice_template()
+        if template is None:
+            return None
+        env = env or {}
+        slices = []
+        for dim in template:
+            lo = dim.const
+            for name, coeff in dim.coeffs.items():
+                value = env.get(name)
+                if value is None:
+                    return None  # unbound index: let the gather path raise
+                lo += coeff * value
+            slices.append(slice(lo, lo + dim.span))
+        return tuple(slices)
+
     def read(
         self, root_array: np.ndarray, env: Optional[Mapping[str, int]] = None
     ) -> np.ndarray:
@@ -167,6 +207,9 @@ class TensorRef:
         self._check_array(root_array)
         if self.is_whole:
             return root_array.copy()
+        slices = self._dense_slices(env)
+        if slices is not None:
+            return root_array[slices].reshape(self.shape).copy()
         coords = self.element_coords(env)
         flat = coords.reshape(-1, self.root.rank)
         values = root_array[tuple(flat.T)]
@@ -189,6 +232,11 @@ class TensorRef:
         if self.is_whole:
             root_array[...] = value
             return
+        slices = self._dense_slices(env)
+        if slices is not None:
+            box_shape = tuple(s.stop - s.start for s in slices)
+            root_array[slices] = value.reshape(box_shape)
+            return
         coords = self.element_coords(env)
         flat = coords.reshape(-1, self.root.rank)
         root_array[tuple(flat.T)] = value.reshape(-1)
@@ -208,22 +256,34 @@ class TensorRef:
     ) -> bool:
         """Do two references possibly share elements?
 
-        Exact when both references are concrete under ``env``; references
-        into different root tensors never alias; otherwise conservatively
-        ``True``.
+        Exact when both references are concrete under ``env``;
+        references into different root tensors never alias; otherwise
+        conservatively ``True``. The test is symbolic first — both
+        element sets become strided interval boxes
+        (:mod:`repro.tensors.regions`) compared in O(rank) — and only
+        partition kinds the algebra cannot describe pay for coordinate
+        materialization (a vectorized numpy row intersection).
         """
         if self.root != other.root:
             return False
         if self.is_whole or other.is_whole:
             return True
         env = env or {}
+        from repro.tensors.regions import region_of, rows_intersect
+
+        try:
+            mine_region = region_of(self, env)
+            their_region = region_of(other, env)
+        except KeyError:
+            return True  # symbolic index we cannot resolve: be conservative
+        if mine_region is not None and their_region is not None:
+            return mine_region.intersects(their_region)
         try:
             mine = self.element_coords(env).reshape(-1, self.root.rank)
             theirs = other.element_coords(env).reshape(-1, self.root.rank)
         except KeyError:
-            return True  # symbolic index we cannot resolve: be conservative
-        mine_set = {tuple(row) for row in mine.tolist()}
-        return any(tuple(row) in mine_set for row in theirs.tolist())
+            return True
+        return rows_intersect(mine, theirs)
 
     def __repr__(self) -> str:
         if self.is_whole:

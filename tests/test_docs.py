@@ -3,9 +3,9 @@
 The ``docs-check`` CI job runs exactly this module. It enforces two
 invariants so documentation cannot silently regress:
 
-1. every public symbol of ``repro.api``, ``repro.tuner``, and
-   ``repro.runtime`` (and their public methods) carries a non-empty
-   docstring;
+1. every public symbol of ``repro.api``, ``repro.tuner``,
+   ``repro.runtime``, and ``repro.tensors.regions`` (and their public
+   methods) carries a non-empty docstring;
 2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
    other root guides resolves to an existing file.
 """
@@ -18,11 +18,17 @@ import pytest
 
 import repro.api
 import repro.runtime
+import repro.tensors.regions
 import repro.tuner
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
-PUBLIC_MODULES = (repro.api, repro.tuner, repro.runtime)
+PUBLIC_MODULES = (
+    repro.api,
+    repro.tuner,
+    repro.runtime,
+    repro.tensors.regions,
+)
 
 #: Inherited members whose docstrings come from the standard library.
 _SKIP_METHODS = {"__init__"}

@@ -145,3 +145,57 @@ class TestPrinter:
         fn.body.append(loop)
         text = print_function(fn)
         assert "for k in [0, 3)" in text
+
+
+class TestCloneFunction:
+    """The pre-pass snapshot clone used by ``compile_program``."""
+
+    def _looped_fn(self):
+        fn, a, b = _fn_with_buffers()
+        c1 = CopyOp(a.ref(), b.ref())
+        fn.body.append(c1)
+        loop = PForOp(
+            Var("i"), 4, ProcessorKind.WARP, preconds=[c1.result.use()]
+        )
+        loop.body.append(CopyOp(b.ref(), a.ref()))
+        loop.body.yield_use = loop.body.ops[0].result.use()
+        fn.body.append(loop)
+        fn.body.append(
+            CopyOp(b.ref(), a.ref(), preconds=[loop.result.use_all()])
+        )
+        return fn, a, b
+
+    def test_clone_verifies_and_prints_identically(self):
+        from repro.ir import clone_function
+
+        fn, _, _ = self._looped_fn()
+        clone = clone_function(fn)
+        verify_function(clone)
+        assert len(list(clone.walk())) == len(list(fn.walk()))
+
+    def test_event_identities_are_remapped(self):
+        from repro.ir import clone_function
+
+        fn, _, _ = self._looped_fn()
+        clone = clone_function(fn)
+        originals = {id(op.result) for op in fn.walk() if op.result}
+        for op in clone.walk():
+            if op.result is not None:
+                assert id(op.result) not in originals
+            for use in op.preconds:
+                assert id(use.event) not in originals
+
+    def test_pass_mutations_do_not_leak_into_snapshot(self):
+        from repro.ir import clone_function
+        from repro.ir.events import EventDim
+
+        fn, a, b = self._looped_fn()
+        snapshot = clone_function(fn)
+        # Mutations of the kinds passes perform on the working copy:
+        fn.buffers[b.tensor.uid].pipeline_depth = 3
+        first = fn.body.ops[0]
+        first.preconds = [fn.body.ops[1].result.use_all()]
+        first.result.type = (EventDim(2, ProcessorKind.WARP),)
+        assert snapshot.buffers[b.tensor.uid].pipeline_depth == 1
+        assert snapshot.body.ops[0].preconds == []
+        assert snapshot.body.ops[0].result.is_unit
