@@ -1,0 +1,165 @@
+"""Task-graph benchmark: parallel-branch speedup + inference scaling.
+
+Two claims of the graph subsystem (``src/repro/graph/``) are measured
+and gated here:
+
+1. **Parallel-branch speedup.** The transformer-block graph (three
+   independent projection GEMMs feeding attention, then the MLP chain)
+   executed via ``RuntimeServer.submit_graph`` must beat serial
+   hand-ordered ``submit()`` calls of the *same* kernels by at least
+   ``GRAPH_SPEEDUP_FLOOR`` on the two-stream configuration — the
+   scheduler overlaps independent branches across the worker pool and
+   micro-batches identical ready nodes, while the serial baseline pays
+   one full round trip per launch.
+
+2. **Linear dependence inference.** Edge inference keeps a per-root
+   frontier and retires covered accesses, so producer->consumer chains
+   infer in time linear in the number of launches. Capturing chains of
+   growing length, the per-launch capture+infer cost must stay flat
+   (ratio bounded by ``INFERENCE_LINEARITY_BOUND``; a quadratic
+   frontier would quadruple it at each doubling).
+
+Writes ``benchmarks/BENCH_graph.json``.
+"""
+
+import json
+import time
+from pathlib import Path
+
+from repro import api
+from repro.graph import GraphBuilder
+from repro.kernels import transformer_block_graph
+
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_graph.json"
+
+#: Acceptance floor: two-stream transformer-block graph vs serial
+#: submits of the same kernels.
+GRAPH_SPEEDUP_FLOOR = 1.5
+
+#: Per-launch capture+infer cost may grow at most this factor when the
+#: chain length quadruples (linear ~1x, quadratic ~4x).
+INFERENCE_LINEARITY_BOUND = 2.5
+
+_BLOCK = dict(seq=512, d_model=512, heads=4, d_ff=1024)
+_CHAIN_M, _CHAIN_K = 256, 256
+
+
+def _serial_s(server, graph) -> float:
+    start = time.perf_counter()
+    for uid in graph.topological_order():
+        node = graph.node(uid)
+        server.submit(node.kernel, node.shape).result(timeout=600)
+    return time.perf_counter() - start
+
+
+def _graph_s(server, graph) -> float:
+    start = time.perf_counter()
+    server.submit_graph(graph).result(timeout=600)
+    return time.perf_counter() - start
+
+
+def _transformer_speedups(machine, repeats: int = 5):
+    out = {}
+    with api.serve(machine, workers=4) as server:
+        for streams in (1, 2):
+            graph = transformer_block_graph(
+                machine, streams=streams, **_BLOCK
+            )
+            server.submit_graph(graph).result(timeout=600)  # warm buckets
+            serial = min(_serial_s(server, graph) for _ in range(repeats))
+            parallel = min(_graph_s(server, graph) for _ in range(repeats))
+            out[f"{streams}_stream"] = {
+                "nodes": len(graph),
+                "edges": len(graph.edges),
+                "serial_ms": serial * 1e3,
+                "graph_ms": parallel * 1e3,
+                "speedup": serial / parallel,
+            }
+    return out
+
+
+def _capture_chain_s(machine, launches: int) -> float:
+    """Wall time to capture + infer a producer->consumer gemm chain.
+
+    ``M == K``, so every launch's output tensor feeds the next
+    launch's A operand directly: a pure RAW chain whose frontier stays
+    constant-size under the covering-write rule.
+    """
+    start = time.perf_counter()
+    gb = GraphBuilder(machine)
+    shape = dict(m=_CHAIN_M, n=_CHAIN_M, k=_CHAIN_K)
+    current = gb.tensor("T0", (_CHAIN_M, _CHAIN_K))
+    weight = gb.tensor("W", (_CHAIN_K, _CHAIN_M))
+    for index in range(launches):
+        nxt = gb.tensor(f"T{index + 1}", (_CHAIN_M, _CHAIN_M))
+        gb.launch(
+            "gemm",
+            shape,
+            reads=dict(A=current, B=weight),
+            writes=dict(C=nxt),
+        )
+        current = nxt
+    graph = gb.build()
+    elapsed = time.perf_counter() - start
+    assert len(graph.edges) == launches - 1  # a pure RAW chain
+    return elapsed
+
+
+def _inference_scaling(machine):
+    sizes = (16, 64)
+    timings = {}
+    for launches in sizes:
+        best = min(_capture_chain_s(machine, launches) for _ in range(3))
+        timings[launches] = best
+    per_launch = {n: timings[n] / n for n in sizes}
+    ratio = per_launch[sizes[1]] / per_launch[sizes[0]]
+    return {
+        "chain_launches": list(sizes),
+        "capture_infer_s": {str(n): timings[n] for n in sizes},
+        "per_launch_us": {
+            str(n): per_launch[n] * 1e6 for n in sizes
+        },
+        "per_launch_growth": ratio,
+    }
+
+
+def test_graph_trajectory(machine):
+    speedups = _transformer_speedups(machine)
+    for name, row in speedups.items():
+        print(
+            f"transformer {name:<9} {row['nodes']:>3} nodes: "
+            f"serial {row['serial_ms']:7.1f} ms, "
+            f"graph {row['graph_ms']:7.1f} ms "
+            f"-> {row['speedup']:.2f}x"
+        )
+    scaling = _inference_scaling(machine)
+    sizes = scaling["chain_launches"]
+    print(
+        f"inference: {sizes[0]}-chain "
+        f"{scaling['per_launch_us'][str(sizes[0])]:.0f} us/launch, "
+        f"{sizes[1]}-chain "
+        f"{scaling['per_launch_us'][str(sizes[1])]:.0f} us/launch "
+        f"(growth {scaling['per_launch_growth']:.2f}x)"
+    )
+
+    two_stream = speedups["2_stream"]["speedup"]
+    assert two_stream >= GRAPH_SPEEDUP_FLOOR, (
+        f"transformer-block graph speedup {two_stream:.2f}x fell below "
+        f"the {GRAPH_SPEEDUP_FLOOR}x floor — parallel branches are "
+        "being serialized"
+    )
+    growth = scaling["per_launch_growth"]
+    assert growth <= INFERENCE_LINEARITY_BOUND, (
+        f"per-launch inference cost grew {growth:.2f}x when the chain "
+        f"quadrupled — the frontier is no longer pruning (bound "
+        f"{INFERENCE_LINEARITY_BOUND}x)"
+    )
+
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "speedup_floor": GRAPH_SPEEDUP_FLOOR,
+        "inference_linearity_bound": INFERENCE_LINEARITY_BOUND,
+        "transformer_block": speedups,
+        "dependence_inference": scaling,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

@@ -35,12 +35,24 @@ Serving (the long-lived layer over all of the above)::
         future = server.submit("gemm", dict(m=4000, n=4000, k=4000))
         print(future.result().gpu.summary())
         print(server.stats().table())
+
+Task graphs (multi-kernel programs with inferred dependences)::
+
+    from repro.graph import GraphBuilder
+    gb = GraphBuilder(machine)
+    ...  # declare tensors, record launches (see docs/graphs.md)
+    graph = gb.build()
+    kernels = api.compile_graph(graph)       # zero passes on recompile
+    outputs = api.run_graph(graph, {"X": X})  # functional, topo order
+    with api.serve(machine) as server:
+        result = server.submit_graph(graph).result()
 """
 
 from __future__ import annotations
 
 import enum
 import functools
+import warnings
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Mapping, Optional, Union
@@ -166,10 +178,21 @@ def compile_many(
             :class:`CompileFailure` (build name + exception) in its slot
             and the rest of the batch still compiles — the autotuner
             relies on this to keep sweeping past infeasible mappings.
-        return_errors: legacy spelling of ``raise_on_error=False`` that
-            yields the raw :class:`CypressError` objects instead of
-            :class:`CompileFailure`; prefer ``raise_on_error=False``.
+        return_errors: deprecated legacy spelling of
+            ``raise_on_error=False`` that yields the raw
+            :class:`CypressError` objects instead of
+            :class:`CompileFailure`. Behavior is unchanged, but passing
+            it emits a :class:`DeprecationWarning`; use
+            ``raise_on_error=False`` instead.
     """
+    if return_errors:
+        warnings.warn(
+            "compile_many(return_errors=True) is deprecated; use "
+            "raise_on_error=False, which collects CompileFailure "
+            "(name + exception) per failing slot instead of raw errors",
+            DeprecationWarning,
+            stacklevel=2,
+        )
     builds = list(builds)
     one = functools.partial(
         _compile_one,
@@ -229,6 +252,84 @@ def run_functional(
     stage = _coerce_stage(stage)
     fn = kernel.final_ir if stage is Stage.FINAL else kernel.dependence_ir
     return interpret_function(fn, kernel_registry, inputs)
+
+
+def compile_graph(
+    graph,
+    *,
+    options: Optional[CompileOptions] = None,
+) -> Dict[int, CompiledKernel]:
+    """Compile every node of a :class:`~repro.graph.TaskGraph`.
+
+    Each node's exact-shape build goes through the process-wide
+    content-keyed compile cache, so recompiling an unchanged graph
+    executes zero passes — and distinct nodes sharing one kernel
+    instantiation (the three Q/K/V projections of a transformer block)
+    compile once.
+
+    Args:
+        graph: a dependence-inferred DAG from
+            :meth:`repro.graph.GraphBuilder.build`.
+        options: compile options applied to every node.
+
+    Returns:
+        ``{node uid: CompiledKernel}`` for every node.
+    """
+    return {
+        node.uid: compile_kernel(node.build, options=options)
+        for node in graph.nodes
+    }
+
+
+def run_graph(
+    graph,
+    inputs: Optional[Mapping[str, np.ndarray]] = None,
+    *,
+    options: Optional[CompileOptions] = None,
+) -> Dict[str, np.ndarray]:
+    """Execute a task graph functionally on numpy data.
+
+    Nodes run in the graph's deterministic topological order at their
+    exact captured shapes (no bucket padding): each node gathers its
+    arguments from the shared root arrays through its bound references,
+    interprets the compiled kernel, and scatters written results back —
+    so producer outputs flow into consumer inputs exactly as the
+    inferred dependences promise. This is the correctness oracle for
+    :meth:`repro.runtime.RuntimeServer.submit_graph`.
+
+    Args:
+        graph: a dependence-inferred DAG from
+            :meth:`repro.graph.GraphBuilder.build`.
+        inputs: name -> array for any subset of the root (non-view)
+            tensors; omitted roots start at zero.
+        options: compile options applied to every node.
+
+    Returns:
+        ``{root tensor name: final array}`` for every root tensor.
+
+    Raises:
+        CypressError: unknown input names or shape mismatches.
+    """
+    from repro.graph.scheduler import materialize_root_arrays
+
+    kernels = compile_graph(graph, options=options)
+    arrays = materialize_root_arrays(graph, inputs)
+    for uid in graph.topological_order():
+        node = graph.node(uid)
+        node_inputs = {
+            param: ref.read(arrays[ref.root.uid])
+            for param, ref in node.refs.items()
+        }
+        outputs = run_functional(kernels[uid], node_inputs)
+        for param, value in outputs.items():
+            ref = node.refs.get(param)
+            if ref is not None:
+                ref.write(arrays[ref.root.uid], value)
+    return {
+        name: arrays[tensor.tensor.uid]
+        for name, tensor in graph.tensors.items()
+        if not tensor.is_view
+    }
 
 
 def simulate(kernel: CompiledKernel, machine: MachineModel) -> GpuResult:

@@ -1,0 +1,368 @@
+"""Capture API: record kernel launches, get a dependence-inferred DAG.
+
+:class:`GraphBuilder` is the whole-program analogue of a kernel's task
+body. The caller declares named root tensors (:meth:`GraphBuilder.
+tensor`), optionally reshape views of them (:meth:`GraphBuilder.view`),
+and records launches of *registered* kernels (the same names
+:class:`~repro.runtime.RuntimeServer` serves) with each entrypoint
+tensor parameter bound to a tensor or a partition piece of one::
+
+    gb = GraphBuilder(machine)
+    x = gb.tensor("X", (512, 512))
+    w = gb.tensor("W", (512, 512))
+    y = gb.tensor("Y", (512, 512))
+    gb.launch("gemm", dict(m=512, n=512, k=512),
+              reads=dict(A=x, B=w), writes=dict(C=y))
+    graph = gb.build()   # edges inferred, never declared
+
+Privileges are **not** part of the launch call's authority: the
+``reads=``/``writes=`` split is validated against the kernel build's
+own entrypoint task declaration, so a caller cannot under-declare a
+write and break the inferred ordering. Regions come from the bound
+references through the symbolic region algebra
+(:mod:`repro.tensors.regions`); bindings the algebra cannot describe —
+reshape views, unsupported partition kinds — degrade to conservative
+edges rather than being rejected.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+
+from repro.errors import CypressError
+from repro.frontend.mapping import canonicalize
+from repro.graph.taskgraph import (
+    SEQ,
+    Access,
+    GraphEdge,
+    GraphNode,
+    TaskGraph,
+    infer_edges,
+)
+from repro.kernels.common import KernelBuild
+from repro.machine.machine import MachineModel
+from repro.runtime.bucketing import Bucket
+from repro.runtime.registry import KernelRegistry, default_registry
+from repro.tensors.dtype import DType, f16
+from repro.tensors.regions import ref_region, tensor_region
+from repro.tensors.tensor import LogicalTensor, TensorRef
+
+
+class GraphTensor:
+    """A named root tensor (or reshape view) of a task graph.
+
+    Wraps a :class:`~repro.tensors.tensor.LogicalTensor` so bindings
+    can use the ordinary partition API (``partition_by_blocks(t.ref(),
+    ...)``) to name sub-tensor regions. A *view* shares its base's
+    storage under a different shape; accesses through a view resolve to
+    the base root for dependence inference (conservatively, unless the
+    view is bound whole).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        tensor: LogicalTensor,
+        base: Optional["GraphTensor"] = None,
+    ) -> None:
+        self.name = name
+        self.tensor = tensor
+        self.base = base
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """The tensor's extents."""
+        return self.tensor.shape
+
+    @property
+    def dtype(self) -> DType:
+        """The tensor's element type."""
+        return self.tensor.dtype
+
+    @property
+    def is_view(self) -> bool:
+        """True when this tensor reshapes another graph tensor."""
+        return self.base is not None
+
+    def root(self) -> "GraphTensor":
+        """The ultimate non-view tensor this one aliases."""
+        out = self
+        while out.base is not None:
+            out = out.base
+        return out
+
+    def ref(self) -> TensorRef:
+        """A reference to the whole tensor (partitionable)."""
+        return self.tensor.ref()
+
+    def __repr__(self) -> str:
+        dims = "x".join(map(str, self.shape))
+        alias = f" view of {self.root().name!r}" if self.is_view else ""
+        return f"GraphTensor({self.name!r}[{dims}]{alias})"
+
+
+class GraphBuilder:
+    """Records kernel launches and builds a :class:`TaskGraph`.
+
+    Args:
+        machine: the machine launches will compile for (kernel builds
+            need it; the graph inherits it for cost-model weighting).
+        registry: servable kernels to launch; defaults to the full zoo
+            (:func:`~repro.runtime.registry.default_registry`). Launch
+            shapes are *not* bucket-rounded here — the graph captures
+            the requested problem; the serving layer buckets per node
+            exactly as it does for scalar ``submit``.
+    """
+
+    def __init__(
+        self,
+        machine: MachineModel,
+        registry: Optional[KernelRegistry] = None,
+    ) -> None:
+        self.machine = machine
+        self.registry = registry if registry is not None else default_registry()
+        self._tensors: Dict[str, GraphTensor] = {}
+        self._by_uid: Dict[int, GraphTensor] = {}
+        self._nodes: list = []
+        self._manual_edges: list = []
+        self._build_memo: Dict[Any, KernelBuild] = {}
+
+    # ------------------------------------------------------------------
+    # Tensor declaration
+    # ------------------------------------------------------------------
+    def tensor(
+        self, name: str, shape: Sequence[int], dtype: DType = f16
+    ) -> GraphTensor:
+        """Declare a named root tensor.
+
+        Raises:
+            CypressError: the name is already declared.
+        """
+        if name in self._tensors:
+            raise CypressError(f"graph tensor {name!r} is already declared")
+        out = GraphTensor(name, LogicalTensor(name, shape, dtype))
+        self._tensors[name] = out
+        self._by_uid[out.tensor.uid] = out
+        return out
+
+    def view(
+        self, name: str, shape: Sequence[int], of: GraphTensor
+    ) -> GraphTensor:
+        """Declare a reshape view sharing another tensor's elements.
+
+        The element counts must match (a reshape, not a slice). For
+        dependence inference an access through a view aliases the whole
+        base tensor: exactly when bound whole, conservatively when
+        partitioned (the box algebra cannot follow a reshape).
+
+        Raises:
+            CypressError: duplicate name, unknown base, or an element
+                count mismatch.
+        """
+        if name in self._tensors:
+            raise CypressError(f"graph tensor {name!r} is already declared")
+        if of.tensor.uid not in self._by_uid:
+            raise CypressError(
+                f"view base {of.name!r} is not declared on this builder"
+            )
+        size = 1
+        for extent in shape:
+            size *= extent
+        if size != of.tensor.size:
+            raise CypressError(
+                f"view {name!r} of shape {tuple(shape)} has {size} elements "
+                f"but base {of.name!r} has {of.tensor.size}"
+            )
+        out = GraphTensor(
+            name, LogicalTensor(name, shape, of.dtype), base=of
+        )
+        self._tensors[name] = out
+        self._by_uid[out.tensor.uid] = out
+        return out
+
+    def tensors(self) -> Dict[str, GraphTensor]:
+        """All declared tensors (roots and views), keyed by name."""
+        return dict(self._tensors)
+
+    # ------------------------------------------------------------------
+    # Launch capture
+    # ------------------------------------------------------------------
+    def launch(
+        self,
+        kernel: str,
+        shape: Mapping[str, int],
+        *,
+        reads: Optional[Mapping[str, Any]] = None,
+        writes: Optional[Mapping[str, Any]] = None,
+        params: Optional[Dict[str, Any]] = None,
+        after: Sequence[GraphNode] = (),
+        label: str = "",
+    ) -> GraphNode:
+        """Record one kernel launch.
+
+        Args:
+            kernel: registered serving name (must exist in the
+                registry).
+            shape: the kernel's named shape dimensions, exactly as
+                ``RuntimeServer.submit`` takes them.
+            reads / writes: entrypoint tensor parameter name ->
+                :class:`GraphTensor` or :class:`TensorRef` binding. The
+                split must match the privileges the kernel's task
+                declaration takes — a parameter the task writes must be
+                bound under ``writes``.
+            params: mapping parameters forwarded to the builder
+                (tile shapes etc.); defaults apply otherwise.
+            after: explicit sequencing edges from earlier launches, for
+                ordering the regions cannot see (side channels).
+            label: display name for reports.
+
+        Returns:
+            The captured :class:`GraphNode` (usable in ``after=``).
+
+        Raises:
+            CypressError: unknown kernel, malformed shape, a binding
+                for an unknown parameter, a missing/extra binding, a
+                privilege-direction mismatch, a shape mismatch between
+                the bound reference and the kernel argument, or a
+                binding whose tensor was not declared on this builder.
+        """
+        registered = self.registry.get(kernel)
+        shape = dict(shape)
+        missing = [d for d in registered.dims if d not in shape]
+        extra = sorted(set(shape) - set(registered.dims))
+        if missing or extra:
+            raise CypressError(
+                f"kernel {kernel!r} takes dimensions {registered.dims}; "
+                f"missing {missing or 'none'}, unknown {extra or 'none'}"
+            )
+        build = self._build_for(registered, shape, params)
+        variant = build.spec.variant_of(build.spec.entrypoint)
+        bindings: Dict[str, Tuple[Any, bool]] = {}
+        for mapping, is_write in ((reads or {}, False), (writes or {}, True)):
+            for param, bound in mapping.items():
+                if param in bindings:
+                    raise CypressError(
+                        f"parameter {param!r} of {kernel!r} is bound twice"
+                    )
+                bindings[param] = (bound, is_write)
+        accesses = []
+        refs: Dict[str, TensorRef] = {}
+        tensor_params = variant.tensor_params
+        if set(bindings) != set(tensor_params):
+            raise CypressError(
+                f"kernel {kernel!r} entrypoint takes tensor parameters "
+                f"{tensor_params}; got bindings for {sorted(bindings)}"
+            )
+        for param, arg_shape in zip(tensor_params, build.arg_shapes):
+            bound, declared_write = bindings[param]
+            privilege = variant.privilege_of(param)
+            if privilege.writes != declared_write:
+                expected = "writes" if privilege.writes else "reads"
+                raise CypressError(
+                    f"parameter {param!r} of {kernel!r} takes privilege "
+                    f"{privilege.value!r}; bind it under {expected}="
+                )
+            ref = bound.ref() if isinstance(bound, GraphTensor) else bound
+            if not isinstance(ref, TensorRef):
+                raise CypressError(
+                    f"binding for {param!r} must be a GraphTensor or "
+                    f"TensorRef, got {type(bound).__name__}"
+                )
+            owner = self._by_uid.get(ref.root.uid)
+            if owner is None:
+                raise CypressError(
+                    f"binding for {param!r} references tensor "
+                    f"{ref.root.name!r} not declared on this builder"
+                )
+            if tuple(ref.shape) != tuple(arg_shape):
+                raise CypressError(
+                    f"parameter {param!r} of {kernel!r} expects shape "
+                    f"{tuple(arg_shape)}, got a reference of shape "
+                    f"{tuple(ref.shape)}"
+                )
+            refs[param] = ref
+            accesses.append(
+                self._access(param, owner, ref, privilege)
+            )
+        node = GraphNode(
+            uid=len(self._nodes),
+            kernel=kernel,
+            shape=shape,
+            build=build,
+            accesses=tuple(accesses),
+            refs=refs,
+            label=label,
+        )
+        for earlier in after:
+            if (
+                not isinstance(earlier, GraphNode)
+                or earlier.uid >= node.uid
+                or self._nodes[earlier.uid] is not earlier
+            ):
+                raise CypressError(
+                    "after= must name launches captured earlier on this "
+                    "builder"
+                )
+            self._manual_edges.append(
+                GraphEdge(src=earlier.uid, dst=node.uid, kind=SEQ)
+            )
+        self._nodes.append(node)
+        return node
+
+    def _access(self, param, owner: GraphTensor, ref: TensorRef, privilege):
+        """Resolve one binding to an :class:`Access` on its root."""
+        root = owner.root()
+        if owner.is_view:
+            # A reshape breaks the box algebra's coordinate map: a
+            # whole-view binding is exactly the whole base; anything
+            # narrower is conservative.
+            region = tensor_region(root.shape) if ref.is_whole else None
+        else:
+            region = ref_region(ref)
+        return Access(
+            param=param,
+            tensor=root.name,
+            root_uid=root.tensor.uid,
+            region=region,
+            reads=privilege.reads,
+            writes=privilege.writes,
+        )
+
+    def _build_for(
+        self,
+        registered,
+        shape: Dict[str, int],
+        params: Optional[Dict[str, Any]],
+    ) -> KernelBuild:
+        """Instantiate (memoized) the kernel build at the exact shape."""
+        key = (
+            registered.name,
+            tuple(sorted(shape.items())),
+            canonicalize(params or {}),
+        )
+        build = self._build_memo.get(key)
+        if build is None:
+            exact = Bucket(tuple((d, shape[d]) for d in registered.dims))
+            build = registered.build(self.machine, exact, params)
+            self._build_memo[key] = build
+        return build
+
+    # ------------------------------------------------------------------
+    # Graph construction
+    # ------------------------------------------------------------------
+    def build(self) -> TaskGraph:
+        """Infer dependence edges and return the captured graph.
+
+        Raises:
+            CypressError: no launches were captured, or explicit
+                sequencing introduced a cycle.
+        """
+        if not self._nodes:
+            raise CypressError("cannot build an empty task graph")
+        edges = list(self._manual_edges) + infer_edges(self._nodes)
+        return TaskGraph(
+            self._nodes, edges, self.machine, tensors=self._tensors
+        )
+
+    def __len__(self) -> int:
+        return len(self._nodes)

@@ -1,0 +1,346 @@
+"""Critical-path execution of task graphs on the serving runtime.
+
+:class:`GraphScheduler` turns a :class:`~repro.graph.taskgraph.
+TaskGraph` into traffic for an existing :class:`~repro.runtime.server.
+RuntimeServer`: every node goes through the ordinary ``submit`` path —
+per-node shape bucketing, the priority queue, micro-batching of
+same-bucket requests, both compile-cache tiers — so a graph costs the
+server nothing it was not already built to do. Ready nodes (all
+predecessors resolved) are submitted immediately and concurrently;
+their ``priority`` is the node's **critical path** — the cost-model
+predicted cycles of the longest chain it gates — so when workers are
+scarce the launch blocking the most downstream work runs first.
+
+With ``inputs=`` the graph also carries data: node arguments are
+gathered from shared root arrays through the bound references before
+submission, and written results scatter back on completion, flowing
+producer outputs into consumer inputs across the worker pool. This
+requires every node's shape to equal its serving bucket (padding a
+*dependent* launch is not semantics-preserving in general); timing-only
+graphs have no such restriction.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Dict, List, Mapping, Optional
+
+import numpy as np
+
+from repro.errors import CypressError
+from repro.graph.taskgraph import GraphNode, TaskGraph
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: server imports us
+    from repro.runtime.server import RuntimeResult, RuntimeServer
+
+
+def materialize_root_arrays(
+    graph: TaskGraph, inputs: Optional[Mapping[str, np.ndarray]]
+) -> Dict[int, np.ndarray]:
+    """Realize every graph tensor as a numpy array.
+
+    Root tensors named in ``inputs`` are copied in (contiguous, cast to
+    the tensor's dtype); unnamed roots start at zero. Views share their
+    base's buffer through ``reshape``, so a write through a view is a
+    write to the base — mirroring how dependence inference treats them.
+
+    Args:
+        graph: a builder-produced graph (its ``tensors`` table must be
+            populated).
+        inputs: name -> array for any subset of the *root* (non-view)
+            tensors.
+
+    Returns:
+        ``{LogicalTensor uid: array}`` covering every declared tensor.
+
+    Raises:
+        CypressError: an input names an unknown or view tensor, or its
+            shape does not match the declaration.
+    """
+    if not graph.tensors:
+        raise CypressError(
+            "this graph carries no tensor table (hand-constructed?); "
+            "functional execution needs a GraphBuilder-produced graph"
+        )
+    inputs = dict(inputs or {})
+    arrays: Dict[int, np.ndarray] = {}
+    for name, tensor in graph.tensors.items():
+        if tensor.is_view:
+            continue
+        given = inputs.pop(name, None)
+        np_dtype = tensor.dtype.to_numpy()
+        if given is None:
+            arrays[tensor.tensor.uid] = np.zeros(tensor.shape, np_dtype)
+            continue
+        if tuple(given.shape) != tuple(tensor.shape):
+            raise CypressError(
+                f"input {name!r} has shape {tuple(given.shape)}; the "
+                f"graph declares {tuple(tensor.shape)}"
+            )
+        # One unconditional copy: contiguous, right dtype, caller's
+        # array never mutated by the graph's write-backs.
+        arrays[tensor.tensor.uid] = np.array(
+            given, dtype=np_dtype, order="C"
+        )
+    if inputs:
+        unknown = ", ".join(sorted(repr(n) for n in inputs))
+        raise CypressError(
+            f"inputs name unknown or view tensors: {unknown} (views "
+            "share their base's storage; pass the base instead)"
+        )
+    for tensor in graph.tensors.values():
+        if tensor.is_view:
+            base = arrays[tensor.root().tensor.uid]
+            arrays[tensor.tensor.uid] = base.reshape(tensor.shape)
+    return arrays
+
+
+@dataclass
+class GraphResult:
+    """What a resolved graph future carries.
+
+    Attributes:
+        graph: the executed graph.
+        results: node uid -> the node's :class:`~repro.runtime.server.
+            RuntimeResult`.
+        makespan_s: wall time from ``submit_graph`` to the last node
+            resolving.
+        outputs: final root arrays (name -> array) when the graph
+            carried data; ``None`` for timing-only execution.
+    """
+
+    graph: TaskGraph
+    results: Dict[int, "RuntimeResult"]
+    makespan_s: float
+    outputs: Optional[Dict[str, np.ndarray]] = None
+
+    @property
+    def total_sim_s(self) -> float:
+        """Sum of per-node simulated execution times (the serial cost
+        the graph's parallelism amortizes)."""
+        return sum(r.gpu.seconds for r in self.results.values())
+
+
+@dataclass
+class GraphExecution:
+    """A handle on one in-flight graph: the completion future plus the
+    per-node futures as they are submitted."""
+
+    graph: TaskGraph
+    future: "Future[GraphResult]"
+    node_futures: Dict[int, Future] = field(default_factory=dict)
+
+    def result(self, timeout: Optional[float] = None) -> GraphResult:
+        """Block for graph completion (convenience for
+        ``.future.result``)."""
+        return self.future.result(timeout=timeout)
+
+
+class GraphScheduler:
+    """Executes task graphs on a :class:`~repro.runtime.server.
+    RuntimeServer` worker pool, critical path first.
+
+    Args:
+        server: the serving runtime nodes are submitted to.
+        cost_model: analytic model for node weights; defaults to a
+            fresh :class:`~repro.tuner.costmodel.AnalyticCostModel`
+            (verdicts are memoized process-wide either way).
+    """
+
+    def __init__(self, server: "RuntimeServer", cost_model=None) -> None:
+        self.server = server
+        self.cost_model = cost_model
+
+    # ------------------------------------------------------------------
+    def priorities(self, graph: TaskGraph, base: int = 0) -> Dict[int, int]:
+        """Integer submit priorities from the cost-model critical path.
+
+        Nodes are densely ranked by longest-path-to-sink: the deepest
+        node gets the highest priority. Ranking (instead of raw cycle
+        counts) keeps graph priorities comparable to scalar traffic
+        submitted around the graph at ``base``.
+        """
+        path = graph.critical_path(self.cost_model)
+        depths = sorted(set(path.values()))
+        rank = {depth: index + 1 for index, depth in enumerate(depths)}
+        return {uid: base + rank[depth] for uid, depth in path.items()}
+
+    def execute(
+        self,
+        graph: TaskGraph,
+        *,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        priority: int = 0,
+    ) -> GraphExecution:
+        """Submit a graph; returns immediately with a
+        :class:`GraphExecution`.
+
+        Args:
+            graph: the dependence-inferred DAG to run.
+            inputs: optional root arrays (name -> array); when given,
+                data flows producer -> consumer through the graph and
+                ``GraphResult.outputs`` holds the final root arrays.
+                Requires every node's shape to already equal its
+                serving bucket.
+            priority: base priority; node priorities stack their
+                critical-path rank on top.
+
+        Returns:
+            The execution handle; its ``future`` resolves to a
+            :class:`GraphResult` (or the first node failure).
+
+        Raises:
+            CypressError: empty graph, or ``inputs`` given while some
+                node's shape is not bucket-aligned.
+        """
+        if not len(graph):
+            raise CypressError("cannot execute an empty task graph")
+        arrays: Optional[Dict[int, np.ndarray]] = None
+        if inputs is not None:
+            for node in graph.nodes:
+                bucket = self.server.registry.get(node.kernel).bucket(
+                    node.shape
+                )
+                if bucket.as_dict() != node.shape:
+                    raise CypressError(
+                        f"graph node {node.label!r} has shape "
+                        f"{node.shape}, which buckets to "
+                        f"{bucket.as_dict()}; functional graph execution "
+                        "requires bucket-aligned shapes (padding a "
+                        "dependent launch is not semantics-preserving)"
+                    )
+            arrays = materialize_root_arrays(graph, inputs)
+        execution = GraphExecution(graph=graph, future=Future())
+        execution.future.set_running_or_notify_cancel()
+        state = _ExecutionState(
+            graph=graph,
+            execution=execution,
+            arrays=arrays,
+            priorities=self.priorities(graph, base=priority),
+            started=time.perf_counter(),
+        )
+        self.server.telemetry.record_graph_submit(len(graph))
+        ready = [graph.node(uid) for uid in graph.roots()]
+        self._submit_ready(state, ready)
+        return execution
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _submit_ready(
+        self, state: "_ExecutionState", ready: List[GraphNode]
+    ) -> None:
+        # Highest critical path first; uid breaks ties for determinism.
+        ready = sorted(
+            ready, key=lambda n: (-state.priorities[n.uid], n.uid)
+        )
+        for node in ready:
+            try:
+                node_inputs = None
+                if state.arrays is not None:
+                    with state.lock:
+                        node_inputs = {
+                            param: ref.read(state.arrays[ref.root.uid])
+                            for param, ref in node.refs.items()
+                        }
+                future = self.server.submit(
+                    node.kernel,
+                    node.shape,
+                    inputs=node_inputs,
+                    priority=state.priorities[node.uid],
+                )
+            except Exception as error:
+                self._fail(state, error)
+                return
+            state.execution.node_futures[node.uid] = future
+            future.add_done_callback(
+                lambda f, node=node: self._on_node_done(state, node, f)
+            )
+
+    def _on_node_done(
+        self, state: "_ExecutionState", node: GraphNode, future: Future
+    ) -> None:
+        if future.cancelled():
+            self._fail(
+                state,
+                CypressError(
+                    f"graph node {node.label!r} was cancelled "
+                    "(server shutting down?)"
+                ),
+            )
+            return
+        error = future.exception()
+        if error is not None:
+            self._fail(state, error)
+            return
+        result = future.result()
+        newly_ready: List[GraphNode] = []
+        with state.lock:
+            if state.failed:
+                return
+            state.results[node.uid] = result
+            if state.arrays is not None and result.outputs:
+                for param, value in result.outputs.items():
+                    ref = node.refs.get(param)
+                    if ref is not None:
+                        ref.write(state.arrays[ref.root.uid], value)
+            for succ in state.graph.successors(node.uid):
+                state.remaining[succ] -= 1
+                if state.remaining[succ] == 0:
+                    newly_ready.append(state.graph.node(succ))
+            done = len(state.results) == len(state.graph)
+        if newly_ready:
+            self._submit_ready(state, newly_ready)
+        if done:
+            self._finish(state)
+
+    def _finish(self, state: "_ExecutionState") -> None:
+        makespan = time.perf_counter() - state.started
+        outputs = None
+        if state.arrays is not None:
+            outputs = {
+                name: state.arrays[tensor.tensor.uid]
+                for name, tensor in state.graph.tensors.items()
+                if not tensor.is_view
+            }
+        self.server.telemetry.record_graph_done(makespan)
+        state.execution.future.set_result(
+            GraphResult(
+                graph=state.graph,
+                results=state.results,
+                makespan_s=makespan,
+                outputs=outputs,
+            )
+        )
+
+    def _fail(self, state: "_ExecutionState", error: BaseException) -> None:
+        with state.lock:
+            if state.failed:
+                return
+            state.failed = True
+        self.server.telemetry.record_graph_failure()
+        state.execution.future.set_exception(error)
+
+
+@dataclass
+class _ExecutionState:
+    """Mutable bookkeeping of one in-flight graph."""
+
+    graph: TaskGraph
+    execution: GraphExecution
+    arrays: Optional[Dict[int, np.ndarray]]
+    priorities: Dict[int, int]
+    started: float
+    lock: threading.Lock = field(default_factory=threading.Lock)
+    failed: bool = False
+    results: Dict[int, Any] = field(default_factory=dict)
+    remaining: Dict[int, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.remaining = {
+            node.uid: len(self.graph.predecessors(node.uid))
+            for node in self.graph.nodes
+        }

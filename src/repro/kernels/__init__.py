@@ -18,6 +18,11 @@ from repro.kernels.dual_gemm import build_dual_gemm
 from repro.kernels.gemm_reduction import build_gemm_reduction
 from repro.kernels.flash_attention2 import build_flash_attention2
 from repro.kernels.flash_attention3 import build_flash_attention3
+from repro.kernels.transformer_block import (
+    transformer_block_graph,
+    transformer_block_inputs,
+    transformer_block_reference,
+)
 
 #: Stable name -> builder for every kernel in the zoo; the serving
 #: runtime's default registry is generated from this table.
@@ -40,4 +45,7 @@ __all__ = [
     "build_gemm_reduction",
     "build_flash_attention2",
     "build_flash_attention3",
+    "transformer_block_graph",
+    "transformer_block_inputs",
+    "transformer_block_reference",
 ]

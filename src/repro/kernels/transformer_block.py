@@ -1,0 +1,228 @@
+"""A transformer block as a task graph over the kernel zoo.
+
+The multi-kernel workload the graph subsystem exists for: one block is
+seven launches of four kernel families —
+
+* three projection GEMMs (``Q = X Wq``, ``KT = WkT XT``, ``V = X Wv``)
+  that are **mutually independent** (the parallel branches a serial
+  submit loop wastes),
+* Flash Attention 2 over per-head reshape views of the projections,
+* the output projection GEMM,
+* a Dual-GEMM GLU up-projection (``H = Z W1 + Z W2``, the paper's
+  Figure 13c workload in its natural habitat), and
+* the down-projection GEMM back to ``d_model``.
+
+The key projection is computed pre-transposed (``KT = WkT @ XT`` with
+``XT`` the transposed activations as a separate input) because the
+attention kernels consume K transposed and a reshape view cannot
+express a transpose; the numpy reference mirrors this, as it mirrors
+the reshape-based head split. Every inter-launch dependence — including
+the conservative edges through the reshape views — is *inferred* by the
+region algebra, never declared.
+
+``streams`` independent blocks can be captured into one graph to model
+batched serving traffic; their launches interleave freely.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict
+
+import numpy as np
+
+from repro.errors import CypressError
+from repro.machine.machine import MachineModel
+
+#: Root input tensors of one block (activations + weights), pre-suffix.
+TRANSFORMER_INPUTS = (
+    "X", "XT", "Wq", "WkT", "Wv", "Wo", "W1", "W2", "W3",
+)
+
+#: All root tensors of one block (inputs + intermediates + output).
+TRANSFORMER_ROOTS = TRANSFORMER_INPUTS + ("Q2", "KT2", "V2", "O3", "Z", "H", "Y")
+
+
+def _stream_name(name: str, stream: int, streams: int) -> str:
+    return name if streams == 1 else f"{name}@{stream}"
+
+
+def transformer_block_graph(
+    machine: MachineModel,
+    *,
+    seq: int = 512,
+    d_model: int = 512,
+    heads: int = 4,
+    d_ff: int = 1024,
+    streams: int = 1,
+    registry=None,
+):
+    """Capture ``streams`` transformer blocks into one task graph.
+
+    Args:
+        machine: target machine for the node builds.
+        seq: sequence length (rows of the activations).
+        d_model: model width; ``d_model // heads`` is the attention
+            head dimension (128 matches the serving bucket ladder).
+        heads: attention heads; must divide ``d_model``.
+        d_ff: GLU hidden width of the MLP.
+        streams: independent blocks captured into the one graph (their
+            tensors are suffixed ``@i`` when ``streams > 1``).
+        registry: kernel registry to launch from; defaults to the zoo.
+
+    Returns:
+        The dependence-inferred :class:`~repro.graph.TaskGraph`
+        (7 nodes per stream).
+
+    Raises:
+        CypressError: ``heads`` does not divide ``d_model`` or a
+            dimension is not positive.
+    """
+    from repro.graph import GraphBuilder
+
+    if streams < 1:
+        raise CypressError("streams must be >= 1")
+    if d_model % heads != 0:
+        raise CypressError(
+            f"heads={heads} must divide d_model={d_model}"
+        )
+    head_dim = d_model // heads
+    gb = GraphBuilder(machine, registry=registry)
+    for stream in range(streams):
+        def name(base: str) -> str:
+            return _stream_name(base, stream, streams)
+
+        x = gb.tensor(name("X"), (seq, d_model))
+        xt = gb.tensor(name("XT"), (d_model, seq))
+        wq = gb.tensor(name("Wq"), (d_model, d_model))
+        wkt = gb.tensor(name("WkT"), (d_model, d_model))
+        wv = gb.tensor(name("Wv"), (d_model, d_model))
+        wo = gb.tensor(name("Wo"), (d_model, d_model))
+        w1 = gb.tensor(name("W1"), (d_model, d_ff))
+        w2 = gb.tensor(name("W2"), (d_model, d_ff))
+        w3 = gb.tensor(name("W3"), (d_ff, d_model))
+        q2 = gb.tensor(name("Q2"), (seq, d_model))
+        kt2 = gb.tensor(name("KT2"), (d_model, seq))
+        v2 = gb.tensor(name("V2"), (seq, d_model))
+        o3 = gb.tensor(name("O3"), (heads, seq, head_dim))
+        z = gb.tensor(name("Z"), (seq, d_model))
+        h = gb.tensor(name("H"), (seq, d_ff))
+        y = gb.tensor(name("Y"), (seq, d_model))
+
+        proj = dict(m=seq, n=d_model, k=d_model)
+        gb.launch("gemm", proj, reads=dict(A=x, B=wq),
+                  writes=dict(C=q2), label=name("q_proj"))
+        gb.launch("gemm", dict(m=d_model, n=seq, k=d_model),
+                  reads=dict(A=wkt, B=xt), writes=dict(C=kt2),
+                  label=name("k_proj"))
+        gb.launch("gemm", proj, reads=dict(A=x, B=wv),
+                  writes=dict(C=v2), label=name("v_proj"))
+
+        qh = gb.view(name("Qh"), (heads, seq, head_dim), of=q2)
+        kth = gb.view(name("KTh"), (heads, head_dim, seq), of=kt2)
+        vh = gb.view(name("Vh"), (heads, seq, head_dim), of=v2)
+        gb.launch(
+            "flash_attention2",
+            dict(heads=heads, seq=seq, head_dim=head_dim),
+            reads=dict(Q=qh, KT=kth, V=vh),
+            writes=dict(O=o3),
+            label=name("attention"),
+        )
+
+        o2 = gb.view(name("O2"), (seq, d_model), of=o3)
+        gb.launch("gemm", proj, reads=dict(A=o2, B=wo),
+                  writes=dict(C=z), label=name("o_proj"))
+        gb.launch("dual_gemm", dict(m=seq, n=d_ff, k=d_model),
+                  reads=dict(A=z, B1=w1, B2=w2), writes=dict(C=h),
+                  label=name("glu_mlp"))
+        gb.launch("gemm", dict(m=seq, n=d_model, k=d_ff),
+                  reads=dict(A=h, B=w3), writes=dict(C=y),
+                  label=name("down_proj"))
+    return gb.build()
+
+
+def transformer_block_inputs(
+    *,
+    seq: int = 512,
+    d_model: int = 512,
+    d_ff: int = 1024,
+    streams: int = 1,
+    seed: int = 0,
+) -> Dict[str, np.ndarray]:
+    """Random FP16 inputs for :func:`transformer_block_graph`.
+
+    Activations and weights are scaled small enough that f16 storage
+    between kernels stays well-conditioned. ``XT`` is exactly ``X``
+    transposed, matching the graph's pre-transposed key projection.
+
+    Returns:
+        ``{root name: array}`` for every input tensor of every stream.
+    """
+    rng = np.random.default_rng(seed)
+    shapes = {
+        "X": (seq, d_model),
+        "Wq": (d_model, d_model),
+        "WkT": (d_model, d_model),
+        "Wv": (d_model, d_model),
+        "Wo": (d_model, d_model),
+        "W1": (d_model, d_ff),
+        "W2": (d_model, d_ff),
+        "W3": (d_ff, d_model),
+    }
+    out: Dict[str, np.ndarray] = {}
+    for stream in range(streams):
+        for base, shape in shapes.items():
+            scale = 1.0 / math.sqrt(shape[0])
+            array = (
+                rng.standard_normal(shape) * scale
+            ).astype(np.float16)
+            out[_stream_name(base, stream, streams)] = array
+        x = out[_stream_name("X", stream, streams)]
+        out[_stream_name("XT", stream, streams)] = (
+            np.ascontiguousarray(x.T)
+        )
+    return out
+
+
+def transformer_block_reference(
+    inputs: Dict[str, np.ndarray],
+    *,
+    heads: int,
+    stream: int = 0,
+    streams: int = 1,
+) -> np.ndarray:
+    """Numpy oracle for one stream's block output ``Y``.
+
+    Mirrors the graph's operator definitions — FP32 matmuls rounded to
+    f16 at every kernel boundary, the reshape-based head split, the
+    pre-transposed key projection, GLU as the *sum* of the two
+    up-projections (the Dual-GEMM kernel's contract) — so it checks the
+    graph's dataflow, not a different model architecture. Kernel-side
+    per-tile f16 accumulation still rounds differently, so comparisons
+    need a small tolerance.
+    """
+    def get(base: str) -> np.ndarray:
+        return inputs[_stream_name(base, stream, streams)].astype(np.float32)
+
+    def f16(a: np.ndarray) -> np.ndarray:
+        return a.astype(np.float16).astype(np.float32)
+
+    x, xt = get("X"), get("XT")
+    q2 = f16(x @ get("Wq"))
+    kt2 = f16(get("WkT") @ xt)
+    v2 = f16(x @ get("Wv"))
+    seq, d_model = x.shape
+    head_dim = d_model // heads
+    qh = q2.reshape(heads, seq, head_dim)
+    kth = kt2.reshape(heads, head_dim, seq)
+    vh = v2.reshape(heads, seq, head_dim)
+    scale = 1.0 / math.sqrt(head_dim)
+    scores = f16(qh @ kth) * scale
+    scores -= scores.max(axis=-1, keepdims=True)
+    probs = np.exp(scores)
+    probs /= probs.sum(axis=-1, keepdims=True)
+    o3 = f16(f16(probs) @ vh)
+    o2 = o3.reshape(seq, d_model)
+    z = f16(o2 @ get("Wo"))
+    h = f16(z @ get("W1") + z @ get("W2"))
+    return f16(h @ get("W3"))

@@ -9,7 +9,9 @@ calls, this package keeps compiled kernels alive and serves them:
   of compiled kernels serves unbounded request shapes.
 * :mod:`~repro.runtime.server` — :class:`RuntimeServer`: async
   ``submit`` returning futures, a priority-queue worker pool,
-  micro-batching of same-bucket requests, tuner-backed warm-up.
+  micro-batching of same-bucket requests, tuner-backed warm-up, and
+  ``submit_graph`` for :mod:`repro.graph` task graphs (ready nodes
+  overlap across the pool, critical path first).
 * :mod:`~repro.runtime.diskcache` — the persistent compile-cache tier
   beneath the in-memory LRU; restarts warm from disk.
 * :mod:`~repro.runtime.telemetry` — p50/p95 latency, per-tier hit

@@ -28,13 +28,20 @@ from typing import Any, List, Optional
 
 @dataclass
 class DiskCacheStats:
-    """Counters for the disk tier since construction or ``clear``."""
+    """Counters for the disk tier since construction or ``clear``.
+
+    ``pruned``/``pruned_bytes`` count entries evicted by the
+    ``max_bytes`` LRU budget (least-recently-used by mtime; loads touch
+    their entry, so a hot entry survives writers).
+    """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
     errors: int = 0
+    pruned: int = 0
+    pruned_bytes: int = 0
 
     @property
     def lookups(self) -> int:
@@ -48,11 +55,29 @@ class DiskCacheStats:
 
 
 class DiskCacheTier:
-    """One pickle file per compile key under ``path``."""
+    """One pickle file per compile key under ``path``.
 
-    def __init__(self, path) -> None:
+    Args:
+        path: cache directory (created if missing).
+        max_bytes: optional on-disk budget. Every successful store
+            prunes least-recently-used entries (by mtime; loads touch
+            their file) until the tier fits — the entry just written is
+            never pruned by its own store, so the budget can be
+            exceeded transiently by one entry. ``None`` leaves the tier
+            unbounded, the historical behavior.
+
+    Raises:
+        ValueError: ``max_bytes`` is not positive.
+    """
+
+    def __init__(self, path, max_bytes: Optional[int] = None) -> None:
+        if max_bytes is not None and max_bytes < 1:
+            raise ValueError(
+                f"max_bytes must be >= 1 or None, got {max_bytes}"
+            )
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
+        self.max_bytes = max_bytes
         self.stats = DiskCacheStats()
         self._lock = threading.Lock()
 
@@ -92,6 +117,10 @@ class DiskCacheTier:
             except OSError:
                 pass
             return None
+        try:
+            os.utime(self._file(key))  # LRU touch: loads keep it warm
+        except OSError:
+            pass
         with self._lock:
             self.stats.hits += 1
         return kernel
@@ -125,6 +154,54 @@ class DiskCacheTier:
             return
         with self._lock:
             self.stats.stores += 1
+        if self.max_bytes is not None:
+            self._prune(keep=key)
+
+    def total_bytes(self) -> int:
+        """Bytes currently persisted across every entry (best effort)."""
+        total = 0
+        for entry in self.path.glob("*.pkl"):
+            try:
+                total += entry.stat().st_size
+            except OSError:
+                pass
+        return total
+
+    def _prune(self, keep: str) -> None:
+        """Evict LRU entries until the tier fits ``max_bytes``.
+
+        ``keep`` (the key just stored) is exempt so a store can never
+        evict its own entry. Eviction order is ascending mtime — loads
+        touch their file, making this true LRU rather than FIFO.
+        """
+        entries = []
+        total = 0
+        for entry in self.path.glob("*.pkl"):
+            try:
+                stat = entry.stat()
+            except OSError:
+                continue
+            entries.append((stat.st_mtime, stat.st_size, entry))
+            total += stat.st_size
+        if total <= self.max_bytes:
+            return
+        keep_file = self._file(keep)
+        pruned = pruned_bytes = 0
+        for _mtime, size, entry in sorted(entries):
+            if total <= self.max_bytes:
+                break
+            if entry == keep_file:
+                continue
+            try:
+                entry.unlink()
+            except OSError:
+                continue
+            total -= size
+            pruned += 1
+            pruned_bytes += size
+        with self._lock:
+            self.stats.pruned += pruned
+            self.stats.pruned_bytes += pruned_bytes
 
     def keys(self) -> List[str]:
         """All compile keys currently persisted, sorted."""

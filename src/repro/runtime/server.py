@@ -307,6 +307,43 @@ class RuntimeServer:
             for kernel, shape in requests
         ]
 
+    def submit_graph(
+        self,
+        graph,
+        *,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        priority: int = 0,
+    ):
+        """Execute a :class:`~repro.graph.TaskGraph` on this server.
+
+        Every node goes through the ordinary ``submit`` path — shape
+        bucketing, the priority queue, micro-batching with any other
+        traffic — but is only enqueued once its inferred dependences
+        resolve; ready nodes run concurrently across the worker pool,
+        prioritized by cost-model critical path. Per-graph counters
+        land in :meth:`stats` (``graphs``, ``graph_nodes``, makespan
+        percentiles).
+
+        Args:
+            graph: a dependence-inferred DAG from
+                :meth:`repro.graph.GraphBuilder.build`.
+            inputs: optional root arrays (name -> array) to flow
+                through the graph; requires bucket-aligned node shapes.
+            priority: base priority under the per-node critical-path
+                rank.
+
+        Returns:
+            A :class:`~repro.graph.GraphExecution`; its ``future``
+            resolves to a :class:`~repro.graph.GraphResult` with
+            per-node results, the makespan, and (with ``inputs``) the
+            final root arrays.
+        """
+        from repro.graph.scheduler import GraphScheduler
+
+        return GraphScheduler(self).execute(
+            graph, inputs=inputs, priority=priority
+        )
+
     # ------------------------------------------------------------------
     # Warm-up
     # ------------------------------------------------------------------

@@ -31,14 +31,21 @@ TIERS = (TIER_MEMORY, TIER_DISK, TIER_COMPILE)
 
 
 def percentile(values: Sequence[float], q: float) -> float:
-    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples."""
+    """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples.
+
+    The textbook definition: the smallest value with at least ``q``
+    percent of the samples at or below it — ``sorted(values)[ceil(q/100
+    * n) - 1]``, with ``q <= 0`` pinned to the minimum and ``q >= 100``
+    to the maximum. Property-tested against the sorted-index oracle in
+    ``tests/test_telemetry.py``.
+    """
     if not values:
         return 0.0
     ordered = sorted(values)
-    rank = max(0, min(len(ordered) - 1, int(round(q / 100.0 * len(ordered))) - 1))
     if q <= 0:
-        rank = 0
-    return ordered[rank]
+        return ordered[0]
+    rank = -(-q * len(ordered) // 100)  # ceil without float drift
+    return ordered[min(int(rank), len(ordered)) - 1]
 
 
 @dataclass
@@ -67,6 +74,12 @@ class RuntimeStats:
     p50_latency_s: float
     p95_latency_s: float
     per_kernel: Dict[str, KernelServingStats] = field(default_factory=dict)
+    graphs: int = 0
+    graphs_completed: int = 0
+    graphs_failed: int = 0
+    graph_nodes: int = 0
+    p50_graph_makespan_s: float = 0.0
+    p95_graph_makespan_s: float = 0.0
 
     @property
     def throughput_rps(self) -> float:
@@ -79,7 +92,12 @@ class RuntimeStats:
         return self.tier_counts.get(tier, 0) / total if total else 0.0
 
     def table(self) -> str:
-        """A human-readable dashboard, one kernel per row."""
+        """A human-readable dashboard, one kernel per row.
+
+        Safe on an idle server: zero requests, zero uptime, or a
+        zero-request per-kernel row render as zeros rather than
+        dividing by the counts.
+        """
         lines = [
             f"runtime: {self.completed}/{self.requests} served "
             f"({self.failed} failed) in {self.uptime_s:.2f}s "
@@ -94,9 +112,18 @@ class RuntimeStats:
                 f"({fmt_percent(self.tier_rate(tier))})"
                 for tier in TIERS
             ),
-            f"{'kernel':<22}{'reqs':>6}{'p50 ms':>9}{'p95 ms':>9}"
-            f"{'req/s':>8}{'TFLOP/s':>9}",
         ]
+        if self.graphs:
+            lines.append(
+                f"graphs:  {self.graphs_completed}/{self.graphs} completed "
+                f"({self.graphs_failed} failed), {self.graph_nodes} nodes; "
+                f"makespan p50 {self.p50_graph_makespan_s * 1e3:.2f} ms, "
+                f"p95 {self.p95_graph_makespan_s * 1e3:.2f} ms"
+            )
+        lines.append(
+            f"{'kernel':<22}{'reqs':>6}{'p50 ms':>9}{'p95 ms':>9}"
+            f"{'req/s':>8}{'TFLOP/s':>9}"
+        )
         for name in sorted(self.per_kernel):
             k = self.per_kernel[name]
             lines.append(
@@ -132,6 +159,11 @@ class Telemetry:
         self._max_batch = 0
         self._tiers: Dict[str, int] = {tier: 0 for tier in TIERS}
         self._kernels: Dict[str, _KernelWindow] = {}
+        self._graphs = 0
+        self._graphs_completed = 0
+        self._graphs_failed = 0
+        self._graph_nodes = 0
+        self._graph_makespans: deque = deque(maxlen=window)
 
     def record_submit(self, count: int = 1) -> None:
         """Count ``count`` requests entering the queue."""
@@ -170,6 +202,23 @@ class Telemetry:
         with self._lock:
             self._failed += count
 
+    def record_graph_submit(self, nodes: int) -> None:
+        """Count one submitted task graph of ``nodes`` launches."""
+        with self._lock:
+            self._graphs += 1
+            self._graph_nodes += nodes
+
+    def record_graph_done(self, makespan_s: float) -> None:
+        """Record one completed graph's submit-to-last-node wall time."""
+        with self._lock:
+            self._graphs_completed += 1
+            self._graph_makespans.append(makespan_s)
+
+    def record_graph_failure(self) -> None:
+        """Count one graph whose execution failed."""
+        with self._lock:
+            self._graphs_failed += 1
+
     def snapshot(self, queue_depth: int = 0) -> RuntimeStats:
         """Freeze the collector into a :class:`RuntimeStats` value.
 
@@ -199,6 +248,7 @@ class Telemetry:
                         else 0.0
                     ),
                 )
+            makespans = list(self._graph_makespans)
             return RuntimeStats(
                 uptime_s=uptime,
                 requests=self._submitted,
@@ -211,4 +261,10 @@ class Telemetry:
                 p50_latency_s=percentile(all_latencies, 50),
                 p95_latency_s=percentile(all_latencies, 95),
                 per_kernel=per_kernel,
+                graphs=self._graphs,
+                graphs_completed=self._graphs_completed,
+                graphs_failed=self._graphs_failed,
+                graph_nodes=self._graph_nodes,
+                p50_graph_makespan_s=percentile(makespans, 50),
+                p95_graph_makespan_s=percentile(makespans, 95),
             )

@@ -216,6 +216,34 @@ def identity_dims(shape: Sequence[int]) -> Tuple[Dim, ...]:
     return tuple(Dim(0, extent, 1, extent) for extent in shape)
 
 
+def tensor_region(shape: Sequence[int]) -> Region:
+    """The dense region covering a whole root tensor of ``shape``.
+
+    The public whole-tensor query: task graphs use it both to describe
+    a whole-tensor access and as the universe against which a write is
+    tested for full coverage (a covering write supersedes every earlier
+    access to the same root).
+    """
+    return Region((Box(identity_dims(shape)),))
+
+
+def ref_region(ref, env: Optional[Mapping[str, int]] = None) -> Optional[Region]:
+    """The root-coordinate region of a reference, or ``None``.
+
+    The public counterpart of :func:`region_of` that also accepts a
+    :class:`~repro.tensors.tensor.LogicalTensor` (meaning the whole
+    tensor) and never raises on unbound symbolic indices — those return
+    ``None`` so callers fall back to a conservative verdict, the
+    contract inter-launch dependence inference relies on.
+    """
+    if not hasattr(ref, "path"):  # a LogicalTensor: the whole tensor
+        return tensor_region(ref.shape)
+    try:
+        return region_of(ref, env)
+    except KeyError:
+        return None
+
+
 def region_of(
     ref, env: Optional[Mapping[str, int]] = None
 ) -> Optional[Region]:

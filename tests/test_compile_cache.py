@@ -223,7 +223,8 @@ class TestCompileMany:
         good = _build(hopper)
         bad = _build(hopper)
         bad.spec.by_instance["gemm_block"].smem_limit_bytes = 1024
-        results = api.compile_many([good, bad], return_errors=True)
+        with pytest.warns(DeprecationWarning):
+            results = api.compile_many([good, bad], return_errors=True)
         assert not isinstance(results[0], CypressError)
         assert isinstance(results[1], CypressError)
 

@@ -4,8 +4,8 @@ The ``docs-check`` CI job runs exactly this module. It enforces two
 invariants so documentation cannot silently regress:
 
 1. every public symbol of ``repro.api``, ``repro.tuner``,
-   ``repro.runtime``, and ``repro.tensors.regions`` (and their public
-   methods) carries a non-empty docstring;
+   ``repro.runtime``, ``repro.graph``, and ``repro.tensors.regions``
+   (and their public methods) carries a non-empty docstring;
 2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
    other root guides resolves to an existing file.
 """
@@ -17,6 +17,7 @@ from pathlib import Path
 import pytest
 
 import repro.api
+import repro.graph
 import repro.runtime
 import repro.tensors.regions
 import repro.tuner
@@ -27,6 +28,7 @@ PUBLIC_MODULES = (
     repro.api,
     repro.tuner,
     repro.runtime,
+    repro.graph,
     repro.tensors.regions,
 )
 
@@ -104,7 +106,9 @@ def _markdown_files():
 
 class TestMarkdownLinks:
     def test_docs_tree_exists(self):
-        for guide in ("architecture.md", "tuning.md", "serving.md"):
+        for guide in (
+            "architecture.md", "tuning.md", "serving.md", "graphs.md",
+        ):
             assert (REPO_ROOT / "docs" / guide).exists(), guide
 
     @pytest.mark.parametrize(

@@ -55,6 +55,18 @@ def test_mapping_tuning_runs_tiny(capsys, tiny_space):
     assert "spearman" in out
 
 
+def test_transformer_block_runs_tiny(capsys):
+    example = _load_example("transformer_block")
+    example.main(
+        seq=256, d_model=256, heads=2, d_ff=512,
+        streams=1, workers=2, repeats=1,
+    )
+    out = capsys.readouterr().out
+    assert "task graph: 7 nodes" in out
+    assert "max |error| vs numpy reference" in out
+    assert "graphs:" in out  # the stats table's per-graph line
+
+
 def test_every_example_documents_its_output():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()

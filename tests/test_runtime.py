@@ -366,6 +366,55 @@ class TestDiskTier:
         assert tier.stats.errors == 1
         assert not tier.contains("k1")
 
+    def test_max_bytes_prunes_lru_on_write(self, tmp_path):
+        import os
+        import time
+
+        payload = b"x" * 512
+        tier = DiskCacheTier(tmp_path, max_bytes=1700)
+        for index in range(3):
+            tier.store(f"k{index}", payload)
+            # File mtimes need to be distinguishable for LRU order.
+            os.utime(
+                tier.path / f"k{index}.pkl",
+                (time.time() + index, time.time() + index),
+            )
+        assert len(tier) == 3
+        tier.store("k3", payload)  # over budget: k0 is the LRU victim
+        assert not tier.contains("k0")
+        assert tier.contains("k3")
+        assert tier.stats.pruned >= 1
+        assert tier.stats.pruned_bytes >= len(payload)
+        assert tier.total_bytes() <= 1700
+
+    def test_max_bytes_load_touch_protects_hot_entry(self, tmp_path):
+        import os
+
+        payload = b"x" * 512
+        tier = DiskCacheTier(tmp_path, max_bytes=1700)
+        now = 1_000_000_000
+        for index in range(3):
+            tier.store(f"k{index}", payload)
+            os.utime(tier.path / f"k{index}.pkl", (now + index, now + index))
+        # A load touches k0's mtime, so k1 becomes the LRU victim.
+        assert tier.load("k0") is not None
+        tier.store("k3", payload)
+        assert tier.contains("k0")
+        assert not tier.contains("k1")
+
+    def test_max_bytes_never_prunes_the_entry_just_stored(self, tmp_path):
+        tier = DiskCacheTier(tmp_path, max_bytes=1)
+        tier.store("k0", b"x" * 512)
+        assert tier.contains("k0")  # transiently over budget, kept
+        tier.store("k1", b"x" * 512)
+        assert tier.contains("k1")
+        assert not tier.contains("k0")
+
+    def test_max_bytes_validation(self, tmp_path):
+        with pytest.raises(ValueError, match="max_bytes"):
+            DiskCacheTier(tmp_path, max_bytes=0)
+        assert DiskCacheTier(tmp_path, max_bytes=None).max_bytes is None
+
     def test_non_lifo_close_leaves_no_stale_tier(
         self, hopper, registry, tmp_path
     ):
