@@ -19,6 +19,15 @@ and gated here:
    (ratio bounded by ``INFERENCE_LINEARITY_BOUND``; a quadratic
    frontier would quadruple it at each doubling).
 
+3. **Template replay (submit-path fast lane).** Re-capturing a graph
+   whose topology fingerprint is already in the
+   :class:`~repro.graph.GraphTemplateCache` must skip region algebra
+   and critical-path scoring entirely: per-launch
+   capture+build+priority cost on the hit path must beat the
+   template-disabled path by at least ``TEMPLATE_REPLAY_FLOOR`` and
+   stay under the absolute ``LAUNCH_OVERHEAD_BUDGET_US`` budget the
+   CI launch-overhead job enforces.
+
 Writes ``benchmarks/BENCH_graph.json``.
 """
 
@@ -27,7 +36,7 @@ import time
 from pathlib import Path
 
 from repro import api
-from repro.graph import GraphBuilder
+from repro.graph import GraphBuilder, GraphTemplateCache
 from repro.kernels import transformer_block_graph
 
 _RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_graph.json"
@@ -39,6 +48,15 @@ GRAPH_SPEEDUP_FLOOR = 1.5
 #: Per-launch capture+infer cost may grow at most this factor when the
 #: chain length quadruples (linear ~1x, quadratic ~4x).
 INFERENCE_LINEARITY_BOUND = 2.5
+
+#: Template replay must cut per-launch capture+build+priority cost by
+#: at least this factor versus the template-disabled path.
+TEMPLATE_REPLAY_FLOOR = 2.0
+
+#: Absolute per-launch overhead budget on the replay path, enforced by
+#: the launch-overhead CI job against BENCH_graph.json. Measured ~21us
+#: locally; the headroom absorbs slower CI machines.
+LAUNCH_OVERHEAD_BUDGET_US = 60.0
 
 _BLOCK = dict(seq=512, d_model=512, heads=4, d_ff=1024)
 _CHAIN_M, _CHAIN_K = 256, 256
@@ -78,15 +96,26 @@ def _transformer_speedups(machine, repeats: int = 5):
     return out
 
 
-def _capture_chain_s(machine, launches: int) -> float:
+def _capture_chain_s(
+    machine,
+    launches: int,
+    *,
+    template_cache=None,
+    build_memo=None,
+    score: bool = False,
+) -> float:
     """Wall time to capture + infer a producer->consumer gemm chain.
 
     ``M == K``, so every launch's output tensor feeds the next
     launch's A operand directly: a pure RAW chain whose frontier stays
-    constant-size under the covering-write rule.
+    constant-size under the covering-write rule. With ``score`` the
+    timing also covers ``critical_path()`` — the full submit-path cost
+    the scheduler pays per graph.
     """
     start = time.perf_counter()
-    gb = GraphBuilder(machine)
+    gb = GraphBuilder(
+        machine, template_cache=template_cache, build_memo=build_memo
+    )
     shape = dict(m=_CHAIN_M, n=_CHAIN_M, k=_CHAIN_K)
     current = gb.tensor("T0", (_CHAIN_M, _CHAIN_K))
     weight = gb.tensor("W", (_CHAIN_K, _CHAIN_M))
@@ -100,6 +129,8 @@ def _capture_chain_s(machine, launches: int) -> float:
         )
         current = nxt
     graph = gb.build()
+    if score:
+        graph.critical_path()
     elapsed = time.perf_counter() - start
     assert len(graph.edges) == launches - 1  # a pure RAW chain
     return elapsed
@@ -109,6 +140,8 @@ def _inference_scaling(machine):
     sizes = (16, 64)
     timings = {}
     for launches in sizes:
+        # Templating disabled: repeats must re-run inference, or the
+        # linearity measurement would time a cache hit instead.
         best = min(_capture_chain_s(machine, launches) for _ in range(3))
         timings[launches] = best
     per_launch = {n: timings[n] / n for n in sizes}
@@ -120,6 +153,43 @@ def _inference_scaling(machine):
             str(n): per_launch[n] * 1e6 for n in sizes
         },
         "per_launch_growth": ratio,
+    }
+
+
+def _template_replay(machine, launches: int = 32, repeats: int = 5):
+    """Per-launch submit-path cost: template replay vs full inference.
+
+    Both paths share one build memo so kernel instantiation is paid
+    once up front — the comparison isolates region algebra, edge
+    inference, and critical-path scoring, which is exactly what the
+    template skips.
+    """
+    memo = {}
+    _capture_chain_s(machine, launches, build_memo=memo, score=True)
+    fresh = min(
+        _capture_chain_s(machine, launches, build_memo=memo, score=True)
+        for _ in range(repeats)
+    )
+    cache = GraphTemplateCache()
+    _capture_chain_s(  # the miss that seeds the template
+        machine, launches, template_cache=cache, build_memo=memo, score=True
+    )
+    replay = min(
+        _capture_chain_s(
+            machine,
+            launches,
+            template_cache=cache,
+            build_memo=memo,
+            score=True,
+        )
+        for _ in range(repeats)
+    )
+    assert cache.stats.hits == repeats
+    return {
+        "chain_launches": launches,
+        "fresh_per_launch_us": fresh / launches * 1e6,
+        "replay_per_launch_us": replay / launches * 1e6,
+        "speedup": fresh / replay,
     }
 
 
@@ -155,11 +225,34 @@ def test_graph_trajectory(machine):
         f"{INFERENCE_LINEARITY_BOUND}x)"
     )
 
+    replay = _template_replay(machine)
+    print(
+        f"template replay ({replay['chain_launches']}-chain): "
+        f"fresh {replay['fresh_per_launch_us']:.1f} us/launch, "
+        f"replay {replay['replay_per_launch_us']:.1f} us/launch "
+        f"-> {replay['speedup']:.2f}x"
+    )
+    assert replay["speedup"] >= TEMPLATE_REPLAY_FLOOR, (
+        f"template replay only {replay['speedup']:.2f}x faster than "
+        f"full inference (floor {TEMPLATE_REPLAY_FLOOR}x) — the hit "
+        "path is re-doing region algebra or critical-path scoring"
+    )
+    assert replay["replay_per_launch_us"] <= LAUNCH_OVERHEAD_BUDGET_US, (
+        f"replay-path per-launch overhead "
+        f"{replay['replay_per_launch_us']:.1f} us exceeds the "
+        f"{LAUNCH_OVERHEAD_BUDGET_US} us budget"
+    )
+
     payload = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "speedup_floor": GRAPH_SPEEDUP_FLOOR,
         "inference_linearity_bound": INFERENCE_LINEARITY_BOUND,
         "transformer_block": speedups,
         "dependence_inference": scaling,
+        "template_replay": {
+            **replay,
+            "replay_floor": TEMPLATE_REPLAY_FLOOR,
+            "launch_overhead_budget_us": LAUNCH_OVERHEAD_BUDGET_US,
+        },
     }
     _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")

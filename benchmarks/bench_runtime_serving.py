@@ -49,9 +49,13 @@ def _registry() -> KernelRegistry:
     return registry
 
 
-def _drive(machine, disk_dir) -> dict:
+def _drive(machine, disk_dir, *, speculate=False) -> dict:
     with RuntimeServer(
-        machine, _registry(), workers=4, disk_cache=str(disk_dir)
+        machine,
+        _registry(),
+        workers=4,
+        disk_cache=str(disk_dir),
+        speculate=speculate,
     ) as server:
         start = time.perf_counter()
         futures = [
@@ -76,6 +80,12 @@ def _drive(machine, disk_dir) -> dict:
         "p95_latency_s": stats.p95_latency_s,
         "batches": stats.batches,
         "max_batch_size": stats.max_batch_size,
+        "speculation": {
+            "issued": stats.speculation_issued,
+            "hits": stats.speculation_hits,
+            "wasted": stats.speculation_wasted,
+            "wasted_ratio": stats.speculation_wasted_ratio,
+        },
     }
 
 
@@ -89,6 +99,14 @@ def test_runtime_serving_trajectory(machine, benchmark, tmp_path):
     api.clear_compile_cache()
     warm = _drive(machine, disk_dir)
 
+    # Cold again but with background speculation: the workload's
+    # bucket locality lets the speculator precompile neighbors, and
+    # the wasted-compile ratio tracks what that insurance cost.
+    api.clear_compile_cache()
+    speculative = _drive(
+        machine, tmp_path / "kernels_spec", speculate=True
+    )
+
     speedup = cold["wall_s"] / warm["wall_s"] if warm["wall_s"] else 0.0
     payload = {
         "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
@@ -100,6 +118,7 @@ def test_runtime_serving_trajectory(machine, benchmark, tmp_path):
         "cold": cold,
         "warm_restart": warm,
         "warm_restart_speedup": speedup,
+        "speculative_cold": speculative,
     }
     _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
     print(
@@ -108,6 +127,12 @@ def test_runtime_serving_trajectory(machine, benchmark, tmp_path):
         f"warm restart: {warm['throughput_rps']:.1f} req/s "
         f"(hit rate {warm['cache_hit_rate'] * 100:.0f}%), "
         f"speedup x{speedup:.2f}"
+    )
+    spec = speculative["speculation"]
+    print(
+        f"speculative cold: {speculative['throughput_rps']:.1f} req/s, "
+        f"issued {spec['issued']}, hits {spec['hits']}, "
+        f"wasted {spec['wasted']} (ratio {spec['wasted_ratio']:.2f})"
     )
 
     # The restarted server compiles nothing: every bucket loads from

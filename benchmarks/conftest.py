@@ -28,7 +28,13 @@ _recorded_series = {}
 #: Benchmark modules that own their own output file; a session running
 #: only these must not rewrite BENCH_pipeline.json (it would clobber
 #: the pipeline trajectory with an unrelated session's cache counters).
-_SELF_CONTAINED = {"bench_compile", "bench_costmodel", "bench_runtime_serving"}
+_SELF_CONTAINED = {
+    "bench_compile",
+    "bench_costmodel",
+    "bench_runtime_serving",
+    "bench_graph",
+    "bench_speculation",
+}
 
 
 @pytest.fixture(scope="session")

@@ -391,6 +391,7 @@ def serve(
     disk_cache: Optional[Any] = None,
     max_batch: int = 8,
     options: Optional[CompileOptions] = None,
+    speculate: Any = False,
 ) -> "RuntimeServer":
     """Start a :class:`~repro.runtime.RuntimeServer` on ``machine``.
 
@@ -398,6 +399,9 @@ def serve(
     manager; see :mod:`repro.runtime` for the full API. ``disk_cache``
     names a directory for the persistent compile-cache tier, so a
     restarted server warms from disk instead of recompiling.
+    ``speculate=True`` (or a :class:`~repro.runtime.SpeculatorConfig`)
+    starts the background :class:`~repro.runtime.Speculator`, which
+    precompiles likely-next shape buckets during idle time.
     """
     from repro.runtime import RuntimeServer
 
@@ -408,4 +412,5 @@ def serve(
         disk_cache=disk_cache,
         max_batch=max_batch,
         options=options,
+        speculate=speculate,
     )

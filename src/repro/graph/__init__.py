@@ -18,6 +18,10 @@ analysis to whole programs:
   ready nodes concurrently on a :class:`~repro.runtime.RuntimeServer`
   (bucketing and micro-batching preserved), longest-critical-path
   first, with optional producer->consumer dataflow.
+* :mod:`~repro.graph.template` — :class:`GraphTemplate` /
+  :class:`GraphTemplateCache`: a resubmitted topology replays its
+  stored edges and critical path from a structural fingerprint with
+  zero region-algebra work per launch.
 
 Entry points: :func:`repro.api.compile_graph` /
 :func:`repro.api.run_graph` for one-shot use,
@@ -43,6 +47,12 @@ from repro.graph.taskgraph import (
     TaskGraph,
     infer_edges,
 )
+from repro.graph.template import (
+    GraphTemplate,
+    GraphTemplateCache,
+    TemplateCacheStats,
+    template_cache,
+)
 
 __all__ = [
     "Access",
@@ -52,12 +62,16 @@ __all__ = [
     "GraphNode",
     "GraphResult",
     "GraphScheduler",
+    "GraphTemplate",
+    "GraphTemplateCache",
     "GraphTensor",
     "RAW",
     "SEQ",
     "TaskGraph",
+    "TemplateCacheStats",
     "WAR",
     "WAW",
     "infer_edges",
     "materialize_root_arrays",
+    "template_cache",
 ]

@@ -27,7 +27,9 @@ edges rather than being rejected.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Mapping, Optional, Sequence, Tuple
+import dataclasses
+import hashlib
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.errors import CypressError
 from repro.frontend.mapping import canonicalize
@@ -39,11 +41,17 @@ from repro.graph.taskgraph import (
     TaskGraph,
     infer_edges,
 )
+from repro.graph.template import (
+    GraphTemplate,
+    GraphTemplateCache,
+    template_cache as _process_template_cache,
+)
 from repro.kernels.common import KernelBuild
 from repro.machine.machine import MachineModel
 from repro.runtime.bucketing import Bucket
 from repro.runtime.registry import KernelRegistry, default_registry
 from repro.tensors.dtype import DType, f16
+from repro.tensors.partition import BlocksPartition, SqueezePartition
 from repro.tensors.regions import ref_region, tensor_region
 from repro.tensors.tensor import LogicalTensor, TensorRef
 
@@ -101,6 +109,33 @@ class GraphTensor:
         return f"GraphTensor({self.name!r}[{dims}]{alias})"
 
 
+class _LaunchPlan:
+    """Memoized validation state of one (kernel, shape, params) triple.
+
+    Attributes:
+        build: the exact-shape :class:`KernelBuild`.
+        entries: per tensor parameter, ``(name, reads, writes,
+            privilege value, expected arg shape)`` in entrypoint order.
+        param_set: the tensor parameter names, for binding validation.
+        fp_static: the binding-independent slice of this launch's
+            fingerprint contribution.
+    """
+
+    __slots__ = ("build", "entries", "param_set", "fp_static")
+
+    def __init__(
+        self,
+        build: KernelBuild,
+        entries: Tuple[Any, ...],
+        param_set: frozenset,
+        fp_static: Tuple[Any, ...],
+    ) -> None:
+        self.build = build
+        self.entries = entries
+        self.param_set = param_set
+        self.fp_static = fp_static
+
+
 class GraphBuilder:
     """Records kernel launches and builds a :class:`TaskGraph`.
 
@@ -112,20 +147,42 @@ class GraphBuilder:
             shapes are *not* bucket-rounded here — the graph captures
             the requested problem; the serving layer buckets per node
             exactly as it does for scalar ``submit``.
+        template_cache: where :meth:`build` looks up (and stores)
+            :class:`~repro.graph.template.GraphTemplate` values; the
+            process-wide :data:`~repro.graph.template.template_cache`
+            by default. Pass ``None`` to always run full dependence
+            inference, or a private cache to isolate.
+        build_memo: an external launch-plan memo (exact-shape builds
+            plus validated binding plans) to share across builders
+            re-capturing the same topology (a fresh dict per builder
+            otherwise). Only share across builders on the same
+            ``machine``.
     """
 
     def __init__(
         self,
         machine: MachineModel,
         registry: Optional[KernelRegistry] = None,
+        template_cache: Optional[GraphTemplateCache] = _process_template_cache,
+        build_memo: Optional[Dict[Any, "_LaunchPlan"]] = None,
     ) -> None:
         self.machine = machine
         self.registry = registry if registry is not None else default_registry()
+        self.template_cache = template_cache
         self._tensors: Dict[str, GraphTensor] = {}
         self._by_uid: Dict[int, GraphTensor] = {}
         self._nodes: list = []
         self._manual_edges: list = []
-        self._build_memo: Dict[Any, KernelBuild] = {}
+        self._plan_memo: Dict[Any, "_LaunchPlan"] = (
+            build_memo if build_memo is not None else {}
+        )
+        # Topology fingerprint, folded in incrementally as tensors are
+        # declared and launches captured. `_fp_ok` drops to False when a
+        # binding's structure cannot be described (unknown partition
+        # kinds) — such captures never use the template cache.
+        self._fp_parts: List[Any] = [("machine", machine.name)]
+        self._fp_ok = True
+        self._regions_resolved = False
 
     # ------------------------------------------------------------------
     # Tensor declaration
@@ -143,6 +200,7 @@ class GraphBuilder:
         out = GraphTensor(name, LogicalTensor(name, shape, dtype))
         self._tensors[name] = out
         self._by_uid[out.tensor.uid] = out
+        self._fp_parts.append(("tensor", name, tuple(shape), dtype.name))
         return out
 
     def view(
@@ -178,6 +236,7 @@ class GraphBuilder:
         )
         self._tensors[name] = out
         self._by_uid[out.tensor.uid] = out
+        self._fp_parts.append(("view", name, tuple(shape), of.name))
         return out
 
     def tensors(self) -> Dict[str, GraphTensor]:
@@ -228,15 +287,8 @@ class GraphBuilder:
         """
         registered = self.registry.get(kernel)
         shape = dict(shape)
-        missing = [d for d in registered.dims if d not in shape]
-        extra = sorted(set(shape) - set(registered.dims))
-        if missing or extra:
-            raise CypressError(
-                f"kernel {kernel!r} takes dimensions {registered.dims}; "
-                f"missing {missing or 'none'}, unknown {extra or 'none'}"
-            )
-        build = self._build_for(registered, shape, params)
-        variant = build.spec.variant_of(build.spec.entrypoint)
+        plan = self._plan_for(registered, shape, params)
+        build = plan.build
         bindings: Dict[str, Tuple[Any, bool]] = {}
         for mapping, is_write in ((reads or {}, False), (writes or {}, True)):
             for param, bound in mapping.items():
@@ -247,20 +299,21 @@ class GraphBuilder:
                 bindings[param] = (bound, is_write)
         accesses = []
         refs: Dict[str, TensorRef] = {}
-        tensor_params = variant.tensor_params
-        if set(bindings) != set(tensor_params):
+        fp_bindings: List[Any] = []
+        if set(bindings) != plan.param_set:
             raise CypressError(
                 f"kernel {kernel!r} entrypoint takes tensor parameters "
-                f"{tensor_params}; got bindings for {sorted(bindings)}"
+                f"{sorted(plan.param_set)}; got bindings for "
+                f"{sorted(bindings)}"
             )
-        for param, arg_shape in zip(tensor_params, build.arg_shapes):
+        by_uid = self._by_uid
+        for param, p_reads, p_writes, p_value, arg_shape in plan.entries:
             bound, declared_write = bindings[param]
-            privilege = variant.privilege_of(param)
-            if privilege.writes != declared_write:
-                expected = "writes" if privilege.writes else "reads"
+            if p_writes != declared_write:
+                expected = "writes" if p_writes else "reads"
                 raise CypressError(
                     f"parameter {param!r} of {kernel!r} takes privilege "
-                    f"{privilege.value!r}; bind it under {expected}="
+                    f"{p_value!r}; bind it under {expected}="
                 )
             ref = bound.ref() if isinstance(bound, GraphTensor) else bound
             if not isinstance(ref, TensorRef):
@@ -268,21 +321,33 @@ class GraphBuilder:
                     f"binding for {param!r} must be a GraphTensor or "
                     f"TensorRef, got {type(bound).__name__}"
                 )
-            owner = self._by_uid.get(ref.root.uid)
+            owner = by_uid.get(ref.root.uid)
             if owner is None:
                 raise CypressError(
                     f"binding for {param!r} references tensor "
                     f"{ref.root.name!r} not declared on this builder"
                 )
-            if tuple(ref.shape) != tuple(arg_shape):
+            if tuple(ref.shape) != arg_shape:
                 raise CypressError(
                     f"parameter {param!r} of {kernel!r} expects shape "
-                    f"{tuple(arg_shape)}, got a reference of shape "
+                    f"{arg_shape}, got a reference of shape "
                     f"{tuple(ref.shape)}"
                 )
             refs[param] = ref
+            # Region deferred to build() — None until a template miss
+            # forces resolution (see _resolve_regions).
             accesses.append(
-                self._access(param, owner, ref, privilege)
+                Access(
+                    param=param,
+                    tensor=owner.root().name,
+                    root_uid=owner.root().tensor.uid,
+                    region=None,
+                    reads=p_reads,
+                    writes=p_writes,
+                )
+            )
+            fp_bindings.append(
+                (param, p_writes, self._ref_key(owner, ref))
             )
         node = GraphNode(
             uid=len(self._nodes),
@@ -306,52 +371,150 @@ class GraphBuilder:
             self._manual_edges.append(
                 GraphEdge(src=earlier.uid, dst=node.uid, kind=SEQ)
             )
+        self._fp_parts.append(
+            (plan.fp_static, tuple(fp_bindings), tuple(e.uid for e in after))
+        )
         self._nodes.append(node)
         return node
 
-    def _access(self, param, owner: GraphTensor, ref: TensorRef, privilege):
-        """Resolve one binding to an :class:`Access` on its root."""
+    def _region_for(self, owner: GraphTensor, ref: TensorRef):
+        """The element set one binding touches, in root coordinates."""
         root = owner.root()
         if owner.is_view:
             # A reshape breaks the box algebra's coordinate map: a
             # whole-view binding is exactly the whole base; anything
             # narrower is conservative.
-            region = tensor_region(root.shape) if ref.is_whole else None
-        else:
-            region = ref_region(ref)
-        return Access(
-            param=param,
-            tensor=root.name,
-            root_uid=root.tensor.uid,
-            region=region,
-            reads=privilege.reads,
-            writes=privilege.writes,
-        )
+            return tensor_region(root.shape) if ref.is_whole else None
+        return ref_region(ref)
 
-    def _build_for(
+    def _resolve_regions(self) -> None:
+        """Fill every captured access's deferred region (idempotent)."""
+        if self._regions_resolved:
+            return
+        for node in self._nodes:
+            node.accesses = tuple(
+                dataclasses.replace(
+                    access,
+                    region=self._region_for(
+                        self._by_uid[node.refs[access.param].root.uid],
+                        node.refs[access.param],
+                    ),
+                )
+                for access in node.accesses
+            )
+        self._regions_resolved = True
+
+    def _ref_key(self, owner: GraphTensor, ref: TensorRef) -> Any:
+        """A structural digest of one binding, for the fingerprint.
+
+        Covers everything dependence inference reads from the binding:
+        the owner tensor and, per partition-path step, the partition
+        kind, grid, geometry (block shape / kept axes), and the index
+        expressions. A partition kind the digest cannot describe
+        disables templating for this capture (``_fp_ok=False``) —
+        never a correctness risk, only a missed fast path.
+        """
+        steps: List[Any] = []
+        for partition, index in ref.path:
+            if isinstance(partition, BlocksPartition):
+                geometry: Any = partition.block_shape
+            elif isinstance(partition, SqueezePartition):
+                geometry = partition.kept
+            else:
+                self._fp_ok = False
+                geometry = None
+            steps.append(
+                (
+                    partition.kind,
+                    partition.grid,
+                    geometry,
+                    tuple(repr(e) for e in index),
+                )
+            )
+        return (owner.name, tuple(steps))
+
+    def _plan_for(
         self,
         registered,
         shape: Dict[str, int],
         params: Optional[Dict[str, Any]],
-    ) -> KernelBuild:
-        """Instantiate (memoized) the kernel build at the exact shape."""
+    ) -> "_LaunchPlan":
+        """The memoized launch plan at one exact (shape, params).
+
+        Building the kernel, resolving its entrypoint variant, and
+        walking the per-parameter privileges costs far more than the
+        rest of launch capture; a topology resubmitted every request
+        repeats the exact same (kernel, shape, params) triples, so all
+        of it is validated once and replayed from the memo.
+        """
         key = (
             registered.name,
             tuple(sorted(shape.items())),
             canonicalize(params or {}),
         )
-        build = self._build_memo.get(key)
-        if build is None:
+        plan = self._plan_memo.get(key)
+        if plan is None:
+            missing = [d for d in registered.dims if d not in shape]
+            extra = sorted(set(shape) - set(registered.dims))
+            if missing or extra:
+                raise CypressError(
+                    f"kernel {registered.name!r} takes dimensions "
+                    f"{registered.dims}; missing {missing or 'none'}, "
+                    f"unknown {extra or 'none'}"
+                )
             exact = Bucket(tuple((d, shape[d]) for d in registered.dims))
             build = registered.build(self.machine, exact, params)
-            self._build_memo[key] = build
-        return build
+            variant = build.spec.variant_of(build.spec.entrypoint)
+            entries = tuple(
+                (
+                    param,
+                    (privilege := variant.privilege_of(param)).reads,
+                    privilege.writes,
+                    privilege.value,
+                    tuple(arg_shape),
+                )
+                for param, arg_shape in zip(
+                    variant.tensor_params, build.arg_shapes
+                )
+            )
+            plan = _LaunchPlan(
+                build=build,
+                entries=entries,
+                param_set=frozenset(variant.tensor_params),
+                fp_static=("launch", key[0], key[1], key[2], build.name),
+            )
+            self._plan_memo[key] = plan
+        return plan
 
     # ------------------------------------------------------------------
     # Graph construction
     # ------------------------------------------------------------------
+    def fingerprint(self) -> Optional[str]:
+        """The capture's topology digest, or ``None`` when untemplatable.
+
+        Two captures share a fingerprint exactly when they declare the
+        same tensors/views and the same launch sequence (kernel, shape,
+        params, built kernel, binding structure, privileges, explicit
+        sequencing) on the same machine — everything dependence
+        inference and critical-path weighting read, so equal
+        fingerprints imply identical edges and priorities. Labels are
+        display-only and excluded.
+        """
+        if not self._fp_ok:
+            return None
+        digest = hashlib.sha256(repr(self._fp_parts).encode())
+        return digest.hexdigest()
+
     def build(self) -> TaskGraph:
         """Infer dependence edges and return the captured graph.
+
+        With a template cache attached (the default), a capture whose
+        :meth:`fingerprint` was built before replays the stored edges
+        and critical path with zero region-algebra work: no region
+        resolution, no dependence inference, no cycle re-validation, no
+        cost-model walk. Replayed graphs carry ``region=None`` accesses
+        — the regions were never computed. On a miss the full pipeline
+        runs and its result is stored for the next capture.
 
         Raises:
             CypressError: no launches were captured, or explicit
@@ -359,10 +522,36 @@ class GraphBuilder:
         """
         if not self._nodes:
             raise CypressError("cannot build an empty task graph")
+        cache = self.template_cache
+        fingerprint = self.fingerprint() if cache is not None else None
+        if fingerprint is not None:
+            template = cache.get(fingerprint, node_count=len(self._nodes))
+            if template is not None:
+                graph = TaskGraph(
+                    self._nodes,
+                    template.edges,
+                    self.machine,
+                    tensors=self._tensors,
+                    validate=False,
+                )
+                graph._cached_critical_path = dict(template.critical_path)
+                return graph
+        self._resolve_regions()
         edges = list(self._manual_edges) + infer_edges(self._nodes)
-        return TaskGraph(
+        graph = TaskGraph(
             self._nodes, edges, self.machine, tensors=self._tensors
         )
+        if fingerprint is not None:
+            cache.put(
+                fingerprint,
+                GraphTemplate(
+                    fingerprint=fingerprint,
+                    node_count=len(self._nodes),
+                    edges=graph.edges,
+                    critical_path=dict(graph.critical_path()),
+                ),
+            )
+        return graph
 
     def __len__(self) -> int:
         return len(self._nodes)

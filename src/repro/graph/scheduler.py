@@ -198,12 +198,27 @@ class GraphScheduler:
         """
         if not len(graph):
             raise CypressError("cannot execute an empty task graph")
+        # One registry lookup + bucketing per node, up front; the
+        # submit fast lane reuses these instead of re-deriving them on
+        # every launch. A lookup failure (unknown kernel) resolves the
+        # graph future instead of raising, matching per-node submit.
+        lookups: Dict[int, Any] = {}
+        lookup_error: Optional[Exception] = None
+        try:
+            for node in graph.nodes:
+                registered = self.server.registry.get(node.kernel)
+                lookups[node.uid] = (
+                    registered,
+                    registered.bucket(node.shape),
+                )
+        except Exception as error:
+            lookup_error = error
         arrays: Optional[Dict[int, np.ndarray]] = None
         if inputs is not None:
+            if lookup_error is not None:
+                raise lookup_error
             for node in graph.nodes:
-                bucket = self.server.registry.get(node.kernel).bucket(
-                    node.shape
-                )
+                bucket = lookups[node.uid][1]
                 if bucket.as_dict() != node.shape:
                     raise CypressError(
                         f"graph node {node.label!r} has shape "
@@ -221,8 +236,18 @@ class GraphScheduler:
             arrays=arrays,
             priorities=self.priorities(graph, base=priority),
             started=time.perf_counter(),
+            lookups=lookups,
+        )
+        # Registered so close(drain=False) can fail the graph future
+        # instead of leaving callers blocked on a server that will
+        # never serve the remaining nodes.
+        self.server._register_graph(
+            id(state), lambda error: self._fail(state, error)
         )
         self.server.telemetry.record_graph_submit(len(graph))
+        if lookup_error is not None:
+            self._fail(state, lookup_error)
+            return execution
         ready = [graph.node(uid) for uid in graph.roots()]
         self._submit_ready(state, ready)
         return execution
@@ -237,8 +262,9 @@ class GraphScheduler:
         ready = sorted(
             ready, key=lambda n: (-state.priorities[n.uid], n.uid)
         )
-        for node in ready:
-            try:
+        try:
+            requests = []
+            for node in ready:
                 node_inputs = None
                 if state.arrays is not None:
                     with state.lock:
@@ -246,17 +272,25 @@ class GraphScheduler:
                             param: ref.read(state.arrays[ref.root.uid])
                             for param, ref in node.refs.items()
                         }
-                future = self.server.submit(
-                    node.kernel,
-                    node.shape,
-                    inputs=node_inputs,
-                    priority=state.priorities[node.uid],
+                registered, bucket = state.lookups[node.uid]
+                requests.append(
+                    self.server.prepare_request(
+                        registered,
+                        node.shape,
+                        bucket,
+                        inputs=node_inputs,
+                        priority=state.priorities[node.uid],
+                    )
                 )
-            except Exception as error:
-                self._fail(state, error)
-                return
-            state.execution.node_futures[node.uid] = future
-            future.add_done_callback(
+            # One enqueue under one lock for the whole ready set,
+            # instead of a full submit() round-trip per node.
+            self.server.submit_prepared(requests)
+        except Exception as error:
+            self._fail(state, error)
+            return
+        for node, request in zip(ready, requests):
+            state.execution.node_futures[node.uid] = request.future
+            request.future.add_done_callback(
                 lambda f, node=node: self._on_node_done(state, node, f)
             )
 
@@ -306,6 +340,7 @@ class GraphScheduler:
                 for name, tensor in state.graph.tensors.items()
                 if not tensor.is_view
             }
+        self.server._unregister_graph(id(state))
         self.server.telemetry.record_graph_done(makespan)
         state.execution.future.set_result(
             GraphResult(
@@ -321,6 +356,7 @@ class GraphScheduler:
             if state.failed:
                 return
             state.failed = True
+        self.server._unregister_graph(id(state))
         self.server.telemetry.record_graph_failure()
         state.execution.future.set_exception(error)
 
@@ -334,6 +370,7 @@ class _ExecutionState:
     arrays: Optional[Dict[int, np.ndarray]]
     priorities: Dict[int, int]
     started: float
+    lookups: Dict[int, Any] = field(default_factory=dict)
     lock: threading.Lock = field(default_factory=threading.Lock)
     failed: bool = False
     results: Dict[int, Any] = field(default_factory=dict)

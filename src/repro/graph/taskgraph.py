@@ -230,7 +230,9 @@ class TaskGraph:
     :meth:`repro.runtime.RuntimeServer.submit_graph`. Construction
     validates acyclicity (explicit ``after=`` sequencing could
     otherwise smuggle a cycle in) and rejects edges naming unknown
-    nodes.
+    nodes; ``validate=False`` skips both checks for edges already
+    proven acyclic — a :class:`~repro.graph.template.GraphTemplate`
+    replay, whose edges were validated when the template was captured.
     """
 
     def __init__(
@@ -239,6 +241,7 @@ class TaskGraph:
         edges: Iterable[GraphEdge],
         machine: MachineModel,
         tensors: Optional[Mapping[str, Any]] = None,
+        validate: bool = True,
     ) -> None:
         self.nodes: Tuple[GraphNode, ...] = tuple(nodes)
         self.edges: Tuple[GraphEdge, ...] = tuple(edges)
@@ -246,16 +249,20 @@ class TaskGraph:
         #: name -> GraphTensor for functional execution (may be empty
         #: for hand-constructed graphs, which then cannot carry data).
         self.tensors: Dict[str, Any] = dict(tensors or {})
+        #: critical path precomputed by a template replay (or an earlier
+        #: default-model call); ``critical_path()`` serves it directly.
+        self._cached_critical_path: Optional[Dict[int, float]] = None
         self._by_uid = {node.uid: node for node in self.nodes}
-        if len(self._by_uid) != len(self.nodes):
-            raise CypressError("task graph has duplicate node uids")
-        for edge in self.edges:
-            for endpoint in (edge.src, edge.dst):
-                if endpoint not in self._by_uid:
-                    raise CypressError(
-                        f"edge {edge.src}->{edge.dst} names unknown node "
-                        f"{endpoint}"
-                    )
+        if validate:
+            if len(self._by_uid) != len(self.nodes):
+                raise CypressError("task graph has duplicate node uids")
+            for edge in self.edges:
+                for endpoint in (edge.src, edge.dst):
+                    if endpoint not in self._by_uid:
+                        raise CypressError(
+                            f"edge {edge.src}->{edge.dst} names unknown "
+                            f"node {endpoint}"
+                        )
         self._successors: Dict[int, List[int]] = {n.uid: [] for n in self.nodes}
         self._predecessors: Dict[int, List[int]] = {
             n.uid: [] for n in self.nodes
@@ -265,7 +272,8 @@ class TaskGraph:
                 self._successors[edge.src].append(edge.dst)
             if edge.src not in self._predecessors[edge.dst]:
                 self._predecessors[edge.dst].append(edge.src)
-        self.topological_order()  # raises CypressError on a cycle
+        if validate:
+            self.topological_order()  # raises CypressError on a cycle
 
     # ------------------------------------------------------------------
     # Structure
@@ -384,7 +392,14 @@ class TaskGraph:
         The scheduler uses these values as priorities: a node gating a
         long chain of downstream work starts before an equally-ready
         node on a short branch.
+
+        Under the default cost model the result is memoized on the
+        graph (and pre-seeded by template replay), so repeated calls —
+        and replayed topologies — skip the cost-model walk entirely.
+        An explicit ``cost_model`` always recomputes.
         """
+        if cost_model is None and self._cached_critical_path is not None:
+            return dict(self._cached_critical_path)
         weights = self.node_weights(cost_model)
         path: Dict[int, float] = {}
         for uid in reversed(self.topological_order()):
@@ -392,6 +407,8 @@ class TaskGraph:
                 (path[s] for s in self._successors[uid]), default=0.0
             )
             path[uid] = weights[uid] + downstream
+        if cost_model is None:
+            self._cached_critical_path = dict(path)
         return path
 
     def critical_path_length(self, cost_model=None) -> float:

@@ -16,6 +16,9 @@ calls, this package keeps compiled kernels alive and serves them:
   beneath the in-memory LRU; restarts warm from disk.
 * :mod:`~repro.runtime.telemetry` — p50/p95 latency, per-tier hit
   rates, queue depth, per-kernel throughput.
+* :mod:`~repro.runtime.speculate` — :class:`Speculator`: a background
+  thread that precompiles likely-next shape buckets (observed traffic
+  plus ladder neighbors) during idle time, making warm-up continuous.
 
 Entry points: :class:`RuntimeServer` here, or :func:`repro.api.serve`.
 """
@@ -28,6 +31,7 @@ from repro.runtime.registry import (
     default_registry,
 )
 from repro.runtime.server import RuntimeResult, RuntimeServer
+from repro.runtime.speculate import Speculator, SpeculatorConfig
 from repro.runtime.telemetry import (
     KernelServingStats,
     RuntimeStats,
@@ -45,6 +49,8 @@ __all__ = [
     "RuntimeResult",
     "RuntimeServer",
     "RuntimeStats",
+    "Speculator",
+    "SpeculatorConfig",
     "Telemetry",
     "default_registry",
 ]

@@ -104,6 +104,62 @@ class BucketPolicy:
         top = rungs[-1]
         return -(-value // top) * top
 
+    def neighbor_extents(self, name: str, extent: int) -> Tuple[int, ...]:
+        """Ladder rungs adjacent to a bucketed extent, ascending.
+
+        For a laddered dimension these are the rungs directly below and
+        above ``extent`` (above the top rung, the adjacent multiples of
+        it); for an unladdered dimension, the adjacent powers of two
+        over the ``floor`` granule. The speculator walks these to guess
+        which buckets shifting traffic will need next.
+
+        Args:
+            name: the dimension.
+            extent: a bucketed extent (as produced by :meth:`round_dim`).
+
+        Returns:
+            The neighboring extents, never including ``extent`` itself.
+        """
+        rungs = self.ladders.get(name)
+        out = []
+        if rungs is None:
+            if extent // 2 >= self.floor:
+                out.append(extent // 2)
+            out.append(extent * 2)
+            return tuple(out)
+        top = rungs[-1]
+        if extent > top:
+            # Beyond the ladder: buckets are multiples of the top rung.
+            out.append(max(extent - top, top))
+            out.append(extent + top)
+            return tuple(out)
+        for index, rung in enumerate(rungs):
+            if extent <= rung:
+                if index > 0:
+                    out.append(rungs[index - 1])
+                if index + 1 < len(rungs):
+                    out.append(rungs[index + 1])
+                else:
+                    out.append(rung * 2)
+                break
+        return tuple(out)
+
+    def neighbors(self, bucket: Bucket) -> Tuple[Bucket, ...]:
+        """Buckets one rung away from ``bucket``, one dimension at a time.
+
+        The candidate count stays linear in the number of dimensions
+        (no cross product): each returned bucket differs from the input
+        in exactly one dimension, stepped to an adjacent ladder rung.
+        """
+        out = []
+        dims = bucket.dims
+        for position, (name, extent) in enumerate(dims):
+            for candidate in self.neighbor_extents(name, extent):
+                swapped = list(dims)
+                swapped[position] = (name, candidate)
+                out.append(Bucket(tuple(swapped)))
+        return tuple(out)
+
     def bucket(self, shape: Mapping[str, int], dims: Sequence[str]) -> Bucket:
         """Round ``shape`` (one extent per name in ``dims``) to a bucket."""
         missing = [name for name in dims if name not in shape]

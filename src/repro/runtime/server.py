@@ -45,6 +45,7 @@ from repro.runtime.registry import (
     RegisteredKernel,
     default_registry,
 )
+from repro.runtime.speculate import Speculator, SpeculatorConfig
 from repro.runtime.telemetry import (
     TIER_COMPILE,
     TIER_DISK,
@@ -92,9 +93,16 @@ class RuntimeResult:
         return self.gpu.tflops
 
 
-@dataclass(order=True)
+@dataclass(order=True, slots=True)
 class _QueuedRequest:
-    """A heap entry; higher ``priority`` values are served first."""
+    """A heap entry; higher ``priority`` values are served first.
+
+    Allocation-light by design: ``__slots__``, a precomputed
+    ``batch_key``, and a mutable ``sort_key``/``submitted_at`` so the
+    graph scheduler can preallocate one slot per node at ``execute()``
+    and stamp it at enqueue time instead of constructing requests (and
+    re-validating shapes) on the submit hot path.
+    """
 
     sort_key: Tuple[int, int]
     kernel: RegisteredKernel = field(compare=False)
@@ -103,10 +111,7 @@ class _QueuedRequest:
     inputs: Optional[Mapping[str, np.ndarray]] = field(compare=False)
     future: "Future[RuntimeResult]" = field(compare=False)
     submitted_at: float = field(compare=False)
-
-    @property
-    def batch_key(self) -> Tuple[str, Bucket]:
-        return (self.kernel.name, self.bucket)
+    batch_key: Tuple[str, Bucket] = field(compare=False)
 
 
 class RuntimeServer:
@@ -122,6 +127,12 @@ class RuntimeServer:
         max_batch: micro-batch bound — how many same-bucket requests one
             worker serves per compile + simulation.
         options: compile options applied to every served kernel.
+        speculate: run a background :class:`~repro.runtime.speculate.
+            Speculator` that watches per-bucket traffic and precompiles
+            observed buckets plus their ladder neighbors during idle
+            time, so ``warm()`` becomes continuous. Pass ``True`` for
+            defaults or a :class:`~repro.runtime.speculate.
+            SpeculatorConfig` for custom knobs.
         start: spawn workers immediately; ``start=False`` lets tests and
             batch loaders enqueue before serving begins (call
             :meth:`start`).
@@ -143,6 +154,7 @@ class RuntimeServer:
         disk_cache: Union[None, str, "DiskCacheTier"] = None,
         max_batch: int = 8,
         options: Optional[CompileOptions] = None,
+        speculate: Union[bool, "SpeculatorConfig"] = False,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -162,7 +174,19 @@ class RuntimeServer:
         self._workers = workers
         self._started = False
         self._bucket_params: Dict[Tuple[str, Bucket], Dict[str, Any]] = {}
+        self._warmed: Dict[Tuple[str, Bucket], str] = {}
+        #: In-flight submit_graph executions: id(state) -> fail callback
+        #: so close(drain=False) can fail (never strand) their futures.
+        self._live_graphs: Dict[int, Any] = {}
         self.telemetry = Telemetry()
+        self.speculator: Optional[Speculator] = None
+        if speculate:
+            config = (
+                speculate
+                if isinstance(speculate, SpeculatorConfig)
+                else None
+            )
+            self.speculator = Speculator(self, config)
         if disk_cache is None:
             self.disk_tier: Optional[DiskCacheTier] = None
         elif isinstance(disk_cache, DiskCacheTier):
@@ -196,6 +220,8 @@ class RuntimeServer:
             )
             thread.start()
             self._threads.append(thread)
+        if self.speculator is not None:
+            self.speculator.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -203,11 +229,15 @@ class RuntimeServer:
 
         ``drain=True`` serves everything already queued first;
         ``drain=False`` cancels queued requests (their futures report
-        cancellation). Detaches the disk tier it attached.
+        cancellation) and *fails* any in-flight ``submit_graph``
+        futures — nothing is left pending. Stops the speculator thread
+        and detaches the disk tier it attached.
         """
         if self._closed:
             return
         self._closed = True
+        if self.speculator is not None:
+            self.speculator.stop()
         with self._cv:
             self._stopping = True
             if not drain:
@@ -224,6 +254,14 @@ class RuntimeServer:
                 for request in self._queue:
                     request.future.cancel()
                 self._queue.clear()
+        if not drain:
+            # Belt and braces against callback-ordering races: any
+            # graph execution still unresolved is failed, not stranded.
+            error = CypressError(
+                "RuntimeServer closed before graph completion"
+            )
+            for fail in list(self._live_graphs.values()):
+                fail(error)
         if self.disk_tier is not None:
             _RETIRED_TIERS.add(self.disk_tier)
             if compile_cache.second_tier is self.disk_tier:
@@ -275,24 +313,66 @@ class RuntimeServer:
         registered = self.registry.get(kernel)
         shape_dict = self._coerce_shape(registered, shape)
         bucket = registered.bucket(shape_dict)
-        request = _QueuedRequest(
-            sort_key=(-priority, next(self._seq)),
+        request = self.prepare_request(
+            registered, shape_dict, bucket, inputs=inputs, priority=priority
+        )
+        self.submit_prepared([request])
+        return request.future
+
+    def prepare_request(
+        self,
+        registered: RegisteredKernel,
+        shape: Dict[str, int],
+        bucket: Bucket,
+        *,
+        inputs: Optional[Mapping[str, np.ndarray]] = None,
+        priority: int = 0,
+    ) -> _QueuedRequest:
+        """Build a queue slot without enqueuing it (the fast lane).
+
+        The graph scheduler resolves ``(registered, bucket)`` once per
+        node at ``execute()`` time and preallocates these slots, so
+        enqueueing a ready node later costs no registry lookup, shape
+        coercion, or bucket rounding. The slot's sequence number and
+        submit timestamp are stamped by :meth:`submit_prepared`.
+        """
+        return _QueuedRequest(
+            sort_key=(-priority, 0),
             kernel=registered,
-            shape=shape_dict,
+            shape=shape,
             bucket=bucket,
             inputs=inputs,
             future=Future(),
-            submitted_at=time.perf_counter(),
+            submitted_at=0.0,
+            batch_key=(registered.name, bucket),
         )
+
+    def submit_prepared(self, requests: List[_QueuedRequest]) -> None:
+        """Enqueue preallocated slots in one batched queue operation.
+
+        One lock acquisition covers the whole batch: sequence numbers
+        and submit timestamps are stamped, every slot is pushed, and
+        waiting workers are notified once per slot. Raises
+        :class:`CypressError` (before touching the queue) when the
+        server is closed.
+        """
+        if not requests:
+            return
+        now = time.perf_counter()
+        pairs = []
         with self._cv:
             # Checked under the lock: a request enqueued after close()
             # drained the queue would never resolve.
             if self._closed or self._stopping:
                 raise CypressError("RuntimeServer is closed")
-            self.telemetry.record_submit()
-            heapq.heappush(self._queue, request)
-            self._cv.notify()
-        return request.future
+            for request in requests:
+                request.sort_key = (request.sort_key[0], next(self._seq))
+                request.submitted_at = now
+                heapq.heappush(self._queue, request)
+                pairs.append(request.batch_key)
+            self._cv.notify(len(requests))
+        self.telemetry.record_submit(len(requests))
+        self.telemetry.record_bucket_traffic(pairs)
 
     def submit_many(
         self,
@@ -373,6 +453,12 @@ class RuntimeServer:
         compiles of the winners plus ``top_k - 1`` extras each instead
         of N full sweeps.
 
+        Warm-up is **idempotent** per (kernel, bucket): a bucket this
+        server already warmed is skipped outright — no recompile, no
+        re-tune, zero passes executed — unless ``tune=True`` and the
+        bucket has no pinned mapping yet (warming untuned then tuned
+        still tunes).
+
         Args:
             kernel: registered kernel name.
             buckets: request shapes; each is rounded to its bucket.
@@ -395,7 +481,13 @@ class RuntimeServer:
             bucket = registered.bucket(
                 self._coerce_shape(registered, shape)
             )
-            if tune:
+            memo_key = (registered.name, bucket)
+            already = self._warmed.get(memo_key)
+            needs_tune = tune and memo_key not in self._bucket_params
+            if already is not None and not needs_tune:
+                warmed[bucket.label()] = already
+                continue
+            if needs_tune:
                 self._tune_bucket(
                     registered, bucket, space, max_workers, top_k
                 )
@@ -406,6 +498,7 @@ class RuntimeServer:
                 # A memory hit skips write-through; persist explicitly so
                 # a restart can warm from disk regardless.
                 self.disk_tier.store(key, compiled)
+            self._warmed[memo_key] = compiled.name
             warmed[bucket.label()] = compiled.name
         return warmed
 
@@ -503,6 +596,8 @@ class RuntimeServer:
             return
         self.telemetry.record_batch(len(live))
         head = live[0]
+        if self.speculator is not None:
+            self.speculator.note_request(head.kernel.name, head.bucket)
         try:
             kernel, tier, _key = self._obtain_kernel(
                 head.kernel, head.bucket
@@ -545,6 +640,18 @@ class RuntimeServer:
             except Exception as error:
                 self.telemetry.record_failure()
                 request.future.set_exception(error)
+
+    # ------------------------------------------------------------------
+    # Graph bookkeeping
+    # ------------------------------------------------------------------
+    def _register_graph(self, token: int, fail) -> None:
+        """Track one in-flight graph execution; ``fail(error)`` must
+        idempotently fail its future (used by ``close(drain=False)``)."""
+        self._live_graphs[token] = fail
+
+    def _unregister_graph(self, token: int) -> None:
+        """Drop a finished (or failed) graph execution."""
+        self._live_graphs.pop(token, None)
 
     # ------------------------------------------------------------------
     # Introspection

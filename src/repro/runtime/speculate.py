@@ -1,0 +1,279 @@
+"""Continuous speculative compilation behind the serving runtime.
+
+A :class:`Speculator` is a background thread owned by a
+:class:`~repro.runtime.server.RuntimeServer`. It watches the server's
+per-``(kernel, bucket)`` traffic (recorded by the telemetry collector
+at submit time), guesses which buckets shifting traffic will need next
+— the observed buckets themselves plus their :meth:`~repro.runtime.
+bucketing.BucketPolicy.neighbors` one ladder rung above and below —
+and precompiles them through :func:`repro.api.compile_many` while the
+request queue is idle. This is the tiering loop of background JITs
+(count hits, compile specializations off the hot path while the
+interpreter keeps serving) applied to shape buckets: ``warm()`` becomes
+a continuous process instead of a one-shot call.
+
+Speculative kernels land in the ordinary process-wide compile cache
+(and the server's :class:`~repro.runtime.diskcache.DiskCacheTier`, when
+attached), built from the *exact* build the server would produce for
+the bucket — same registered defaults, same pinned tuned parameters,
+same compile options — so a speculation hit is indistinguishable from a
+``warm()`` hit: the first real request in a precompiled bucket is
+served from the memory tier with zero passes executed, and its results
+are bit-identical to what an on-demand compile would have produced.
+
+With ``tune=True`` the speculator additionally walks the kernel's
+mapping search space through the analytic cost model
+(:func:`repro.tuner.rank_candidates` — stage 1 only, no simulation),
+precompiles the ``top_k`` predicted-best mappings, and pins the winner
+for buckets that have no tuned parameters yet.
+
+Effectiveness lands in :class:`~repro.runtime.telemetry.RuntimeStats`:
+``speculative_compiles`` (kernels built in the background),
+``speculation_issued`` (buckets precompiled), ``speculation_hits``
+(precompiled buckets that later received traffic), and the derived
+``speculation_wasted`` / ``speculation_wasted_ratio``.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Set, Tuple
+
+from repro.compiler.cache import compile_cache
+from repro.compiler.pipeline import compile_key_for
+from repro.kernels.common import KernelBuild
+from repro.runtime.bucketing import Bucket
+from repro.runtime.registry import RegisteredKernel
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: server owns us
+    from repro.runtime.server import RuntimeServer
+
+
+@dataclass(frozen=True)
+class SpeculatorConfig:
+    """Knobs of the background speculator.
+
+    Attributes:
+        interval_s: poll period between speculation cycles.
+        max_compiles_per_cycle: background compile budget per cycle, so
+            a burst of novel traffic cannot monopolize the process.
+        neighbors: also precompile buckets one ladder rung above/below
+            each observed bucket (the shifting-traffic guess); with
+            ``False`` only observed buckets are kept warm.
+        tune: walk the kernel's mapping search space analytically per
+            candidate bucket, precompile the ``top_k`` predicted-best
+            mappings, and pin the winner for buckets with no tuned
+            parameters yet (stage-1-only tuning — no simulation).
+        top_k: mappings precompiled per bucket when ``tune=True``.
+        max_workers: thread-pool width for background ``compile_many``.
+    """
+
+    interval_s: float = 0.02
+    max_compiles_per_cycle: int = 4
+    neighbors: bool = True
+    tune: bool = False
+    top_k: int = 2
+    max_workers: int = 2
+
+
+class Speculator:
+    """The background compile thread owned by a ``RuntimeServer``.
+
+    The server constructs one when built with ``speculate=`` truthy,
+    starts it alongside the worker pool, and stops it on ``close()``.
+    Tests (and benchmarks that want determinism) can drive it
+    synchronously with :meth:`run_once` instead of waiting on the
+    thread.
+    """
+
+    def __init__(
+        self,
+        server: "RuntimeServer",
+        config: Optional[SpeculatorConfig] = None,
+    ) -> None:
+        self.server = server
+        self.config = config or SpeculatorConfig()
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+        # Compile keys already attempted (success or failure): a
+        # mapping the compiler rejects must not be retried every cycle.
+        self._attempted: Set[str] = set()
+        # Buckets this speculator precompiled, -> "has a request hit
+        # it yet" (so each bucket counts at most one speculation hit).
+        self._precompiled: Dict[Tuple[str, Bucket], bool] = {}
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        """Spawn the background thread (idempotent)."""
+        if self._thread is not None or self._stop.is_set():
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-speculator", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Signal the thread to exit and join it (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.config.interval_s):
+            try:
+                if self.server.queue_depth == 0:
+                    self.run_once()
+            except Exception:
+                # Speculation must never take serving down; a cycle
+                # that blows up is dropped and the next one retries.
+                self.errors += 1
+
+    # ------------------------------------------------------------------
+    # One speculation cycle
+    # ------------------------------------------------------------------
+    def run_once(self) -> int:
+        """Run one speculation cycle synchronously.
+
+        Scans the traffic snapshot (hottest buckets first), enumerates
+        candidate buckets (observed + ladder neighbors), and compiles
+        whatever is not already cached, up to
+        ``max_compiles_per_cycle``. Yields early when real traffic
+        arrives or the server starts shutting down.
+
+        Returns:
+            The number of kernels compiled this cycle.
+        """
+        server = self.server
+        traffic = server.telemetry.bucket_traffic()
+        compiled = 0
+        hottest = sorted(traffic.items(), key=lambda kv: (-kv[1], kv[0][0]))
+        for (name, bucket), _count in hottest:
+            if name not in server.registry:
+                continue
+            registered = server.registry.get(name)
+            candidates: List[Bucket] = [bucket]
+            if self.config.neighbors:
+                candidates.extend(registered.policy.neighbors(bucket))
+            for candidate in candidates:
+                if self._stop.is_set() or server.queue_depth > 0:
+                    return compiled
+                if compiled >= self.config.max_compiles_per_cycle:
+                    return compiled
+                compiled += self._speculate_bucket(registered, candidate)
+        return compiled
+
+    def note_request(self, kernel: str, bucket: Bucket) -> None:
+        """Mark real traffic on a bucket; counts a speculation hit the
+        first time a precompiled bucket is requested."""
+        key = (kernel, bucket)
+        with self._lock:
+            if self._precompiled.get(key) is not False:
+                return
+            self._precompiled[key] = True
+        self.server.telemetry.record_speculation_hit()
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _builds_for(
+        self, registered: RegisteredKernel, bucket: Bucket
+    ) -> List[KernelBuild]:
+        """The builds worth precompiling for one candidate bucket.
+
+        The head of the list is always the exact build the server's
+        ``_obtain_kernel`` would produce, so the compile key matches
+        real traffic. ``tune=True`` appends the analytically-ranked
+        top-k mappings and pins the winner when the bucket has no
+        tuned parameters yet.
+        """
+        server = self.server
+        ranked = []
+        if self.config.tune and registered.search_space is not None:
+            from repro.tuner import rank_candidates
+
+            adapt = registered.tune_adapter or (lambda candidate: candidate)
+            ranked = rank_candidates(
+                lambda machine, **candidate: registered.build(
+                    machine, bucket, params=adapt(candidate)
+                ),
+                server.machine,
+                registered.search_space,
+                top_k=self.config.top_k,
+            )
+            if ranked:
+                server._bucket_params.setdefault(
+                    (registered.name, bucket), adapt(ranked[0].candidate)
+                )
+        params = server._bucket_params.get((registered.name, bucket))
+        builds = [registered.build(server.machine, bucket, params)]
+        builds.extend(survivor.build for survivor in ranked)
+        return builds
+
+    def _speculate_bucket(
+        self, registered: RegisteredKernel, bucket: Bucket
+    ) -> int:
+        """Precompile one candidate bucket; returns compiles executed."""
+        from repro import api
+
+        server = self.server
+        try:
+            builds = self._builds_for(registered, bucket)
+        except Exception:
+            self.errors += 1
+            return 0
+        todo: List[Tuple[str, KernelBuild]] = []
+        seen: Set[str] = set()
+        for build in builds:
+            key = compile_key_for(build, server._options)
+            if key in seen or key in self._attempted:
+                continue
+            seen.add(key)
+            if key in compile_cache:
+                continue
+            if server.disk_tier is not None and server.disk_tier.contains(
+                key
+            ):
+                continue
+            todo.append((key, build))
+        if not todo:
+            return 0
+        kernels = api.compile_many(
+            [build for _key, build in todo],
+            options=server._options,
+            executor="thread",
+            max_workers=self.config.max_workers,
+            raise_on_error=False,
+        )
+        succeeded = 0
+        for (key, _build), kernel in zip(todo, kernels):
+            self._attempted.add(key)
+            if isinstance(kernel, api.CompileFailure):
+                continue
+            succeeded += 1
+            if server.disk_tier is not None and not server.disk_tier.contains(
+                key
+            ):
+                # Memory hits skip write-through; persist explicitly so
+                # restarts warm from disk, exactly like warm() does.
+                server.disk_tier.store(key, kernel)
+        issued = 0
+        if succeeded:
+            with self._lock:
+                if (registered.name, bucket) not in self._precompiled:
+                    self._precompiled[(registered.name, bucket)] = False
+                    issued = 1
+        server.telemetry.record_speculation(succeeded, issued)
+        return succeeded

@@ -80,6 +80,21 @@ class RuntimeStats:
     graph_nodes: int = 0
     p50_graph_makespan_s: float = 0.0
     p95_graph_makespan_s: float = 0.0
+    speculative_compiles: int = 0
+    speculation_issued: int = 0
+    speculation_hits: int = 0
+
+    @property
+    def speculation_wasted(self) -> int:
+        """Speculatively precompiled buckets never requested (so far)."""
+        return max(self.speculation_issued - self.speculation_hits, 0)
+
+    @property
+    def speculation_wasted_ratio(self) -> float:
+        """Wasted fraction of speculatively precompiled buckets."""
+        if not self.speculation_issued:
+            return 0.0
+        return self.speculation_wasted / self.speculation_issued
 
     @property
     def throughput_rps(self) -> float:
@@ -113,6 +128,14 @@ class RuntimeStats:
                 for tier in TIERS
             ),
         ]
+        if self.speculation_issued or self.speculative_compiles:
+            lines.append(
+                f"specul.: {self.speculation_issued} buckets precompiled "
+                f"({self.speculative_compiles} compiles), "
+                f"{self.speculation_hits} hit, "
+                f"{self.speculation_wasted} wasted "
+                f"({fmt_percent(self.speculation_wasted_ratio)})"
+            )
         if self.graphs:
             lines.append(
                 f"graphs:  {self.graphs_completed}/{self.graphs} completed "
@@ -164,11 +187,45 @@ class Telemetry:
         self._graphs_failed = 0
         self._graph_nodes = 0
         self._graph_makespans: deque = deque(maxlen=window)
+        self._bucket_traffic: Dict[tuple, int] = {}
+        self._spec_compiles = 0
+        self._spec_issued = 0
+        self._spec_hits = 0
 
     def record_submit(self, count: int = 1) -> None:
         """Count ``count`` requests entering the queue."""
         with self._lock:
             self._submitted += count
+
+    def record_bucket_traffic(self, pairs: Sequence[tuple]) -> None:
+        """Count one request per ``(kernel, bucket)`` pair in ``pairs``.
+
+        This is the per-bucket demand signal the speculator polls via
+        :meth:`bucket_traffic` to decide which neighbor buckets are
+        worth precompiling.
+        """
+        with self._lock:
+            traffic = self._bucket_traffic
+            for pair in pairs:
+                traffic[pair] = traffic.get(pair, 0) + 1
+
+    def bucket_traffic(self) -> Dict[tuple, int]:
+        """A snapshot of request counts per ``(kernel, bucket)``."""
+        with self._lock:
+            return dict(self._bucket_traffic)
+
+    def record_speculation(self, compiles: int, buckets: int = 0) -> None:
+        """Record speculative work: ``compiles`` kernels built in the
+        background, covering ``buckets`` newly precompiled buckets."""
+        with self._lock:
+            self._spec_compiles += compiles
+            self._spec_issued += buckets
+
+    def record_speculation_hit(self) -> None:
+        """Count one speculatively precompiled bucket receiving its
+        first real request (at most once per bucket)."""
+        with self._lock:
+            self._spec_hits += 1
 
     def record_batch(self, size: int) -> None:
         """Count one micro-batch of ``size`` requests."""
@@ -267,4 +324,7 @@ class Telemetry:
                 graph_nodes=self._graph_nodes,
                 p50_graph_makespan_s=percentile(makespans, 50),
                 p95_graph_makespan_s=percentile(makespans, 95),
+                speculative_compiles=self._spec_compiles,
+                speculation_issued=self._spec_issued,
+                speculation_hits=self._spec_hits,
             )

@@ -23,10 +23,12 @@ See ``docs/tuning.md`` for the full guide.
 """
 
 from repro.tuner.autotune import (
+    RankedCandidate,
     SearchStats,
     TuningReport,
     TuningResult,
     autotune,
+    rank_candidates,
 )
 from repro.tuner.costmodel import (
     AGREEMENT_FACTOR,
@@ -42,11 +44,13 @@ __all__ = [
     "AnalyticCostModel",
     "CostEstimate",
     "MappingSearchSpace",
+    "RankedCandidate",
     "SearchStats",
     "TuningReport",
     "TuningResult",
     "autotune",
     "default_cost_model",
+    "rank_candidates",
     "spearman",
     "wgmma_row_constraint",
 ]

@@ -215,6 +215,75 @@ class TuningReport:
         return "\n".join(lines)
 
 
+@dataclass
+class RankedCandidate:
+    """One stage-1 survivor of :func:`rank_candidates`.
+
+    Attributes:
+        candidate: the swept parameter dict.
+        build: the instantiated :class:`KernelBuild`.
+        predicted_cycles: the cost model's calibrated cycle estimate.
+    """
+
+    candidate: Dict[str, Any]
+    build: KernelBuild
+    predicted_cycles: float
+
+
+def rank_candidates(
+    build_fn: BuildFn,
+    machine: MachineModel,
+    space: MappingSearchSpace,
+    *,
+    cost_model: Optional[AnalyticCostModel] = None,
+    top_k: Optional[int] = None,
+) -> List[RankedCandidate]:
+    """Stage-1-only ranking: score a search space without compiling.
+
+    Builds and analytically scores every candidate in ``space``
+    (verdicts are memoized process-wide, so repeated rankings cost
+    dictionary lookups) and returns the feasible ones best-first. This
+    is the piece of :func:`autotune` the background speculator runs to
+    pick which mappings to precompile — microseconds per candidate, no
+    compiler pass executed, no simulation.
+
+    Args:
+        build_fn: builder called as ``build_fn(machine, **candidate)``.
+        machine: the machine candidates are mapped to (and scored
+            against).
+        space: the declarative candidate enumeration.
+        cost_model: defaults to the process-wide
+            :data:`~repro.tuner.costmodel.default_cost_model`.
+        top_k: keep only the best ``top_k`` survivors (``None`` keeps
+            all).
+
+    Returns:
+        Feasible candidates ranked by predicted cycles, best first;
+        empty when nothing in the space is feasible.
+    """
+    model = cost_model if cost_model is not None else default_cost_model
+    ranked: List[RankedCandidate] = []
+    for candidate in space.as_list():
+        try:
+            build = build_fn(machine, **candidate)
+        except (CypressError, TypeError):
+            continue
+        estimate = model.score(build, machine)
+        if not estimate.feasible:
+            continue
+        ranked.append(
+            RankedCandidate(
+                candidate=candidate,
+                build=build,
+                predicted_cycles=model.calibrated_cycles(estimate),
+            )
+        )
+    ranked.sort(key=lambda r: r.predicted_cycles)
+    if top_k is not None:
+        ranked = ranked[:top_k]
+    return ranked
+
+
 def autotune(
     build_fn: BuildFn,
     machine: MachineModel,

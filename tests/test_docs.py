@@ -4,8 +4,9 @@ The ``docs-check`` CI job runs exactly this module. It enforces two
 invariants so documentation cannot silently regress:
 
 1. every public symbol of ``repro.api``, ``repro.tuner``,
-   ``repro.runtime``, ``repro.graph``, and ``repro.tensors.regions``
-   (and their public methods) carries a non-empty docstring;
+   ``repro.runtime``, ``repro.runtime.speculate``, ``repro.graph``,
+   ``repro.graph.template``, and ``repro.tensors.regions`` (and their
+   public methods) carries a non-empty docstring;
 2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
    other root guides resolves to an existing file.
 """
@@ -18,7 +19,9 @@ import pytest
 
 import repro.api
 import repro.graph
+import repro.graph.template
 import repro.runtime
+import repro.runtime.speculate
 import repro.tensors.regions
 import repro.tuner
 
@@ -28,7 +31,9 @@ PUBLIC_MODULES = (
     repro.api,
     repro.tuner,
     repro.runtime,
+    repro.runtime.speculate,
     repro.graph,
+    repro.graph.template,
     repro.tensors.regions,
 )
 

@@ -297,6 +297,7 @@ class TestEdgeInference:
             reads=dict(A=gb.tensor("A", (N, K)), B=gb.tensor("B", (K, M))),
             writes=dict(C=view),
         )
+        gb.build()  # regions are deferred until build()
         access = [a for a in node.accesses if a.param == "C"][0]
         assert access.tensor == "C"
         assert access.region is not None

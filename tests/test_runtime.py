@@ -481,6 +481,101 @@ class TestWarmTuning:
                     "gemm", [dict(m=128, n=256, k=64)], tune=True
                 )
 
+    def test_warm_is_idempotent(self, hopper, registry):
+        shape = dict(m=128, n=256, k=64)
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            first = server.warm("gemm", [shape])
+            before = pass_execution_count()
+            second = server.warm("gemm", [shape])
+            # The second call skips outright: no recompile, no passes.
+            assert second == first
+            assert pass_execution_count() == before
+
+    def test_warm_retune_skipped_once_params_pinned(
+        self, hopper, registry
+    ):
+        shape = dict(m=128, n=256, k=64)
+        space = MappingSearchSpace(
+            tiles=((128, 256),),
+            tile_k=(64,),
+            warpgroups=(1, 2),
+            pipeline_depths=(1, 2),
+            warpspecialize=(False,),
+        )
+        with RuntimeServer(hopper, registry, workers=1) as server:
+            # Untuned warm first: the bucket is compiled but unpinned.
+            server.warm("gemm", [shape])
+            # Tuned warm must still tune (params not pinned yet)...
+            first = server.warm("gemm", [shape], tune=True, space=space)
+            before = pass_execution_count()
+            # ...but a second tuned warm is a pure no-op.
+            second = server.warm("gemm", [shape], tune=True, space=space)
+            assert second == first
+            assert pass_execution_count() == before
+
+
+class TestGraphShutdown:
+    def _chain_graph(self, hopper, registry):
+        from repro.graph import GraphBuilder
+
+        gb = GraphBuilder(hopper, registry=registry)
+        a = gb.tensor("A", (128, 64))
+        w = gb.tensor("W", (64, 256))
+        mid = gb.tensor("T", (128, 256))
+        w2 = gb.tensor("W2", (256, 256))
+        out = gb.tensor("C", (128, 256))
+        gb.launch(
+            "gemm",
+            dict(m=128, n=256, k=64),
+            reads=dict(A=a, B=w),
+            writes=dict(C=mid),
+        )
+        gb.launch(
+            "gemm",
+            dict(m=128, n=256, k=256),
+            reads=dict(A=mid, B=w2),
+            writes=dict(C=out),
+        )
+        return gb.build()
+
+    def test_close_without_drain_fails_inflight_graph(
+        self, hopper, registry
+    ):
+        graph = self._chain_graph(hopper, registry)
+        server = RuntimeServer(hopper, registry, workers=1, start=False)
+        execution = server.submit_graph(graph)
+        assert not execution.future.done()
+        server.close(drain=False)
+        # The graph future must resolve (with the shutdown error), not
+        # hang forever on nodes that will never be served.
+        error = execution.future.exception(timeout=10)
+        assert isinstance(error, CypressError)
+
+    def test_close_with_drain_completes_inflight_graph(
+        self, hopper, registry
+    ):
+        from repro.graph import GraphBuilder
+
+        # Independent launches: both are enqueued at submit time, so a
+        # draining close serves them before the workers stop.  (A chain
+        # would race: its second wave is only submitted after the first
+        # completes, which a closing server rejects.)
+        gb = GraphBuilder(hopper, registry=registry)
+        w = gb.tensor("W", (64, 256))
+        for index in range(2):
+            gb.launch(
+                "gemm",
+                dict(m=128, n=256, k=64),
+                reads=dict(A=gb.tensor(f"A{index}", (128, 64)), B=w),
+                writes=dict(C=gb.tensor(f"C{index}", (128, 256))),
+            )
+        graph = gb.build()
+        server = RuntimeServer(hopper, registry, workers=1)
+        execution = server.submit_graph(graph)
+        server.close()  # drain=True serves everything queued
+        result = execution.result(timeout=120)
+        assert len(result.results) == len(graph)
+
 
 class TestTelemetry:
     def test_stats_table_renders(self, hopper, registry):
