@@ -113,15 +113,12 @@ def _run_trace(machine, registry, *, speculate):
             if speculate and phase < len(PHASES) - 1:
                 _await_speculation_quiesce(server)
         stats = server.stats()
+    # The speculation block comes straight from the schema-versioned
+    # snapshot instead of plucking dataclass fields.
     return {
         "first_requests": first_requests,
         "steady_p50_ms": sorted(steady_s)[len(steady_s) // 2] * 1e3,
-        "speculation": {
-            "issued": stats.speculation_issued,
-            "hits": stats.speculation_hits,
-            "wasted": stats.speculation_wasted,
-            "wasted_ratio": stats.speculation_wasted_ratio,
-        },
+        "speculation": stats.to_json()["speculation"],
     }
 
 

@@ -1,0 +1,175 @@
+"""Tracing-overhead benchmark: the zero-cost-when-off contract, gated.
+
+Observability must not tax the hot paths it observes. Two gated
+measurements, written to ``benchmarks/BENCH_trace.json`` and enforced
+by the ``obs-overhead`` CI job:
+
+1. **Disabled tracing holds the launch budget.** The template-replay
+   capture+build+priority chain from ``bench_graph.py`` — the
+   submit-path fast lane PR 6 put under the ``launch-overhead`` CI
+   budget — re-measured with the no-op :data:`~repro.obs.trace.
+   NULL_TRACER` threaded through must still come in under
+   :data:`~benchmarks.bench_graph.LAUNCH_OVERHEAD_BUDGET_US` (imported,
+   not copied: one budget, one source of truth).
+
+2. **Enabled tracing stays within** ``TRACE_OVERHEAD_FACTOR`` **of
+   disabled.** The same chain with a live :class:`~repro.obs.trace.
+   Tracer` recording a ``graph.build`` span per capture may cost at
+   most 1.5x the disabled path per launch.
+
+An end-to-end guard rides along untargeted: warm scalar ``submit()``
+p50 latency on a traced vs untraced server, so a regression that hides
+in the request path (rather than the capture path) still shows up in
+the report.
+"""
+
+import json
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.graph import GraphBuilder, GraphTemplateCache
+from repro.kernels import build_gemm
+from repro.obs import NULL_TRACER, Tracer
+from repro.runtime import BucketPolicy, KernelRegistry, RuntimeServer
+
+from bench_graph import LAUNCH_OVERHEAD_BUDGET_US, _CHAIN_K, _CHAIN_M
+
+_RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_trace.json"
+
+#: Tracing-enabled per-launch cost may exceed tracing-disabled by at
+#: most this factor (the tentpole's 1.5x contract).
+TRACE_OVERHEAD_FACTOR = 1.5
+
+_LAUNCHES = 32
+_REPEATS = 7
+
+
+def _capture_chain_s(machine, tracer, *, template_cache, build_memo) -> float:
+    """The bench_graph replay chain with a tracer threaded through.
+
+    Same workload as ``bench_graph._capture_chain_s`` (score=True): a
+    pure RAW gemm chain captured, built, and critical-path scored —
+    the per-launch submit-path cost the launch-overhead budget covers —
+    except the builder carries ``tracer``.
+    """
+    start = time.perf_counter()
+    gb = GraphBuilder(
+        machine,
+        template_cache=template_cache,
+        build_memo=build_memo,
+        tracer=tracer,
+    )
+    shape = dict(m=_CHAIN_M, n=_CHAIN_M, k=_CHAIN_K)
+    current = gb.tensor("T0", (_CHAIN_M, _CHAIN_K))
+    weight = gb.tensor("W", (_CHAIN_K, _CHAIN_M))
+    for index in range(_LAUNCHES):
+        nxt = gb.tensor(f"T{index + 1}", (_CHAIN_M, _CHAIN_M))
+        gb.launch(
+            "gemm",
+            shape,
+            reads=dict(A=current, B=weight),
+            writes=dict(C=nxt),
+        )
+        current = nxt
+    graph = gb.build()
+    graph.critical_path()
+    elapsed = time.perf_counter() - start
+    assert len(graph.edges) == _LAUNCHES - 1
+    return elapsed
+
+
+def _replay_per_launch_us(machine, tracer) -> float:
+    """Best-of-N per-launch cost on the template-replay hit path."""
+    memo = {}
+    cache = GraphTemplateCache()
+    # Seed the memo and the template (the misses), then time hits only.
+    _capture_chain_s(machine, tracer, template_cache=cache, build_memo=memo)
+    best = min(
+        _capture_chain_s(
+            machine, tracer, template_cache=cache, build_memo=memo
+        )
+        for _ in range(_REPEATS)
+    )
+    return best / _LAUNCHES * 1e6
+
+
+def _registry():
+    registry = KernelRegistry()
+    registry.register(
+        "gemm",
+        build_gemm,
+        ("m", "n", "k"),
+        policy=BucketPolicy(
+            ladders={"m": (_CHAIN_M,), "n": (_CHAIN_M,), "k": (_CHAIN_K,)}
+        ),
+        defaults=dict(tile_m=128, tile_n=256, tile_k=64),
+    )
+    return registry
+
+
+def _warm_submit_p50_us(machine, *, trace: bool, requests: int = 40) -> float:
+    """Warm scalar submit->result p50 on a (un)traced server."""
+    shape = dict(m=_CHAIN_M, n=_CHAIN_M, k=_CHAIN_K)
+    with RuntimeServer(
+        machine, _registry(), workers=1, trace=trace
+    ) as server:
+        server.submit("gemm", shape).result(timeout=600)  # warm the bucket
+        samples = []
+        for _ in range(requests):
+            start = time.perf_counter()
+            server.submit("gemm", shape).result(timeout=600)
+            samples.append(time.perf_counter() - start)
+    return sorted(samples)[len(samples) // 2] * 1e6
+
+
+def test_trace_overhead(machine):
+    disabled_us = _replay_per_launch_us(machine, NULL_TRACER)
+    tracer = Tracer(capacity=16384)
+    enabled_us = _replay_per_launch_us(machine, tracer)
+    assert tracer.span_count > 0  # the enabled run really recorded
+
+    submit_off_us = _warm_submit_p50_us(machine, trace=False)
+    submit_on_us = _warm_submit_p50_us(machine, trace=True)
+
+    factor = enabled_us / disabled_us if disabled_us else float("inf")
+    print(
+        f"\nreplay per launch: disabled {disabled_us:.1f} us, "
+        f"enabled {enabled_us:.1f} us ({factor:.2f}x); "
+        f"warm submit p50: untraced {submit_off_us:.0f} us, "
+        f"traced {submit_on_us:.0f} us"
+    )
+
+    assert disabled_us <= LAUNCH_OVERHEAD_BUDGET_US, (
+        f"tracing-disabled per-launch overhead {disabled_us:.1f} us "
+        f"exceeds the {LAUNCH_OVERHEAD_BUDGET_US} us launch budget — "
+        "the no-op tracer is not free"
+    )
+    assert enabled_us <= TRACE_OVERHEAD_FACTOR * disabled_us, (
+        f"tracing-enabled per-launch overhead {enabled_us:.1f} us "
+        f"exceeds {TRACE_OVERHEAD_FACTOR}x the disabled path "
+        f"({disabled_us:.1f} us)"
+    )
+
+    payload = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "launch_overhead_budget_us": LAUNCH_OVERHEAD_BUDGET_US,
+        "trace_overhead_factor": TRACE_OVERHEAD_FACTOR,
+        "chain_launches": _LAUNCHES,
+        "replay_per_launch_us": {
+            "disabled": disabled_us,
+            "enabled": enabled_us,
+            "factor": factor,
+        },
+        "warm_submit_p50_us": {
+            "untraced": submit_off_us,
+            "traced": submit_on_us,
+        },
+        "enabled_spans_recorded": tracer.span_count,
+    }
+    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+
+
+if __name__ == "__main__":
+    pytest.main([__file__, "-q"])

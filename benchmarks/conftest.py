@@ -34,6 +34,7 @@ _SELF_CONTAINED = {
     "bench_runtime_serving",
     "bench_graph",
     "bench_speculation",
+    "bench_trace",
 }
 
 

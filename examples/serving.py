@@ -17,13 +17,21 @@ names, then the ``RuntimeStats.table()`` dashboard: a ``runtime:``
 header line (100/100 served), a ``latency:`` line (p50/p95 in ms), a
 ``tiers:`` line whose ``memory`` share dominates, and one row per
 kernel with requests, latency percentiles, req/s, and simulated
-TFLOP/s.
+TFLOP/s. With ``--trace`` the table gains an ``obs:`` line and the
+exported span count is printed last.
 
 Run it::
 
     PYTHONPATH=src python examples/serving.py
+
+Pass ``--trace out.json`` to record a span for every request's journey
+through the server (queue -> dispatch -> compile -> batch -> execute)
+and export it as a Chrome trace — open the file in ``chrome://tracing``
+or https://ui.perfetto.dev to see the timeline. See
+``docs/observability.md`` for the span taxonomy.
 """
 
+import argparse
 import random
 import tempfile
 
@@ -32,13 +40,18 @@ from repro.machine import hopper_machine
 from repro.tuner import MappingSearchSpace
 
 
-def main() -> None:
+def main(trace_path=None, requests=100, tune=True) -> None:
     machine = hopper_machine()
     random.seed(0)
     cache_dir = tempfile.mkdtemp(prefix="repro-serving-")
     print(f"persistent kernel cache: {cache_dir}")
 
-    with api.serve(machine, workers=4, disk_cache=cache_dir) as server:
+    with api.serve(
+        machine,
+        workers=4,
+        disk_cache=cache_dir,
+        trace=trace_path is not None,
+    ) as server:
         # -- warm-up: compile (and tune) bucket kernels before traffic --
         tune_space = MappingSearchSpace(
             tiles=((256, 256), (128, 256)),
@@ -49,8 +62,8 @@ def main() -> None:
         warmed = server.warm(
             "gemm",
             [dict(m=512, n=512, k=256), dict(m=1024, n=1024, k=512)],
-            tune=True,
-            space=tune_space,
+            tune=tune,
+            space=tune_space if tune else None,
         )
         warmed.update(
             server.warm(
@@ -65,14 +78,15 @@ def main() -> None:
         for bucket, kernel_name in warmed.items():
             print(f"  {bucket:<28} -> {kernel_name}")
 
-        # -- traffic: 100 mixed requests with arbitrary shapes ----------
+        # -- traffic: mixed requests (4:1 gemm:attention) with
+        # arbitrary shapes ----------------------------------------------
         futures = []
-        for _ in range(80):
+        for _ in range(requests * 4 // 5):
             m = random.randint(300, 1024)
             n = random.randint(300, 1024)
             k = random.randint(130, 512)
             futures.append(server.submit("gemm", dict(m=m, n=n, k=k)))
-        for _ in range(20):
+        for _ in range(requests - requests * 4 // 5):
             seq = random.choice((200, 256, 400, 512))
             futures.append(
                 server.submit(
@@ -101,7 +115,20 @@ def main() -> None:
                 f"({disk.stats.stores} stores, {disk.stats.hits} hits) "
                 f"- a restarted server warms from here"
             )
+        if trace_path is not None:
+            written = server.export_trace(trace_path)
+            print(
+                f"\nwrote {len(server.tracer)} spans to {written} - open "
+                f"it in chrome://tracing or https://ui.perfetto.dev"
+            )
 
 
 if __name__ == "__main__":
-    main()
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--trace",
+        metavar="OUT.json",
+        default=None,
+        help="record request spans and export a Chrome trace here",
+    )
+    main(trace_path=parser.parse_args().trace)

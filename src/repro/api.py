@@ -392,6 +392,8 @@ def serve(
     max_batch: int = 8,
     options: Optional[CompileOptions] = None,
     speculate: Any = False,
+    trace: Any = False,
+    flight: Any = None,
 ) -> "RuntimeServer":
     """Start a :class:`~repro.runtime.RuntimeServer` on ``machine``.
 
@@ -402,6 +404,11 @@ def serve(
     ``speculate=True`` (or a :class:`~repro.runtime.SpeculatorConfig`)
     starts the background :class:`~repro.runtime.Speculator`, which
     precompiles likely-next shape buckets during idle time.
+    ``trace=True`` records per-request span trees on a
+    :class:`~repro.obs.trace.Tracer` (export with
+    ``server.export_trace(path)``); ``flight`` attaches a
+    :class:`~repro.obs.flight.FlightRecorder` (or a dump path) that the
+    server writes on close and on worker crashes.
     """
     from repro.runtime import RuntimeServer
 
@@ -413,4 +420,6 @@ def serve(
         max_batch=max_batch,
         options=options,
         speculate=speculate,
+        trace=trace,
+        flight=flight,
     )

@@ -92,12 +92,19 @@ class PassContext:
 
 @dataclass
 class PassRecord:
-    """Instrumentation for one executed pass."""
+    """Instrumentation for one executed pass.
+
+    ``started_at_s`` is the pass's start on the process-wide
+    ``time.perf_counter`` clock — the same clock trace spans use — so
+    observability can lift each record into a child span of the
+    enclosing compile without re-timing anything.
+    """
 
     name: str
     wall_time_s: float
     ops_before: int
     ops_after: int
+    started_at_s: float = 0.0
 
 
 @dataclass
@@ -321,6 +328,7 @@ class PassManager:
                     wall_time_s=elapsed,
                     ops_before=ops_before,
                     ops_after=_ir_size(fn),
+                    started_at_s=start,
                 )
             )
             if self.verify is VerifyPolicy.EVERY_PASS and p.mutates_ir:

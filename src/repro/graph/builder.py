@@ -48,6 +48,7 @@ from repro.graph.template import (
 )
 from repro.kernels.common import KernelBuild
 from repro.machine.machine import MachineModel
+from repro.obs.trace import NULL_TRACER
 from repro.runtime.bucketing import Bucket
 from repro.runtime.registry import KernelRegistry, default_registry
 from repro.tensors.dtype import DType, f16
@@ -157,6 +158,10 @@ class GraphBuilder:
             re-capturing the same topology (a fresh dict per builder
             otherwise). Only share across builders on the same
             ``machine``.
+        tracer: a :class:`~repro.obs.trace.Tracer` to record one
+            ``graph.build`` span per :meth:`build` (tagged template
+            hit/miss); the no-op :data:`~repro.obs.trace.NULL_TRACER`
+            by default.
     """
 
     def __init__(
@@ -165,8 +170,10 @@ class GraphBuilder:
         registry: Optional[KernelRegistry] = None,
         template_cache: Optional[GraphTemplateCache] = _process_template_cache,
         build_memo: Optional[Dict[Any, "_LaunchPlan"]] = None,
+        tracer=NULL_TRACER,
     ) -> None:
         self.machine = machine
+        self.tracer = tracer
         self.registry = registry if registry is not None else default_registry()
         self.template_cache = template_cache
         self._tensors: Dict[str, GraphTensor] = {}
@@ -522,6 +529,19 @@ class GraphBuilder:
         """
         if not self._nodes:
             raise CypressError("cannot build an empty task graph")
+        tracer = self.tracer
+        if not tracer.enabled:
+            return self._build_graph()[0]
+        with tracer.span(
+            "graph.build", "graph", args={"nodes": len(self._nodes)}
+        ) as span:
+            graph, hit = self._build_graph()
+            span.args["template"] = "hit" if hit else "miss"
+        return graph
+
+    def _build_graph(self) -> Tuple[TaskGraph, bool]:
+        """Template lookup + (on miss) full inference; returns the
+        graph and whether the template cache answered."""
         cache = self.template_cache
         fingerprint = self.fingerprint() if cache is not None else None
         if fingerprint is not None:
@@ -535,7 +555,7 @@ class GraphBuilder:
                     validate=False,
                 )
                 graph._cached_critical_path = dict(template.critical_path)
-                return graph
+                return graph, True
         self._resolve_regions()
         edges = list(self._manual_edges) + infer_edges(self._nodes)
         graph = TaskGraph(
@@ -551,7 +571,7 @@ class GraphBuilder:
                     critical_path=dict(graph.critical_path()),
                 ),
             )
-        return graph
+        return graph, False
 
     def __len__(self) -> int:
         return len(self._nodes)

@@ -238,6 +238,14 @@ class GraphScheduler:
             started=time.perf_counter(),
             lookups=lookups,
         )
+        tracer = self.server.tracer
+        if tracer.enabled:
+            state.span = tracer.begin(
+                "graph",
+                "graph",
+                args={"nodes": len(graph)},
+                start_s=state.started,
+            )
         # Registered so close(drain=False) can fail the graph future
         # instead of leaving callers blocked on a server that will
         # never serve the remaining nodes.
@@ -262,6 +270,7 @@ class GraphScheduler:
         ready = sorted(
             ready, key=lambda n: (-state.priorities[n.uid], n.uid)
         )
+        tracer = self.server.tracer
         try:
             requests = []
             for node in ready:
@@ -273,15 +282,29 @@ class GraphScheduler:
                             for param, ref in node.refs.items()
                         }
                 registered, bucket = state.lookups[node.uid]
-                requests.append(
-                    self.server.prepare_request(
-                        registered,
-                        node.shape,
-                        bucket,
-                        inputs=node_inputs,
-                        priority=state.priorities[node.uid],
-                    )
+                request = self.server.prepare_request(
+                    registered,
+                    node.shape,
+                    bucket,
+                    inputs=node_inputs,
+                    priority=state.priorities[node.uid],
                 )
+                if tracer.enabled:
+                    span = tracer.begin(
+                        "node",
+                        "graph",
+                        parent=state.span,
+                        args={
+                            "kernel": node.kernel,
+                            "label": node.label or str(node.uid),
+                            "uid": node.uid,
+                            "priority": state.priorities[node.uid],
+                        },
+                    )
+                    state.node_spans[node.uid] = span
+                    # The per-request root span nests under this node.
+                    request.trace_parent = span
+                requests.append(request)
             # One enqueue under one lock for the whole ready set,
             # instead of a full submit() round-trip per node.
             self.server.submit_prepared(requests)
@@ -297,6 +320,16 @@ class GraphScheduler:
     def _on_node_done(
         self, state: "_ExecutionState", node: GraphNode, future: Future
     ) -> None:
+        span = state.node_spans.pop(node.uid, None)
+        if span is not None:
+            # The request's own span already closed inside the worker
+            # (before set_result), so closing the node span here keeps
+            # children inside their parent.
+            error = None if future.cancelled() else future.exception()
+            self.server.tracer.end(
+                span,
+                args={"error": repr(error)} if error is not None else None,
+            )
         if future.cancelled():
             self._fail(
                 state,
@@ -333,6 +366,10 @@ class GraphScheduler:
 
     def _finish(self, state: "_ExecutionState") -> None:
         makespan = time.perf_counter() - state.started
+        if state.span is not None:
+            self.server.tracer.end(
+                state.span, args={"makespan_s": makespan}
+            )
         outputs = None
         if state.arrays is not None:
             outputs = {
@@ -356,6 +393,13 @@ class GraphScheduler:
             if state.failed:
                 return
             state.failed = True
+        if state.span is not None:
+            # Node spans of still-in-flight launches stay open (and are
+            # therefore never exported) — their request children may
+            # outlive this failure.
+            self.server.tracer.end(
+                state.span, args={"error": repr(error)}
+            )
         self.server._unregister_graph(id(state))
         self.server.telemetry.record_graph_failure()
         state.execution.future.set_exception(error)
@@ -375,6 +419,10 @@ class _ExecutionState:
     failed: bool = False
     results: Dict[int, Any] = field(default_factory=dict)
     remaining: Dict[int, int] = field(default_factory=dict)
+    #: Graph-level span and the open per-node spans (uid -> span),
+    #: both ``None``/empty when the server's tracing is off.
+    span: Any = None
+    node_spans: Dict[int, Any] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         self.remaining = {

@@ -1,0 +1,57 @@
+"""repro.obs — observability: tracing, metrics, and the flight recorder.
+
+Aggregate telemetry (:class:`~repro.runtime.telemetry.RuntimeStats`)
+answers "how is the server doing"; this package answers "where did
+*this* request spend its time" and "what happened right before the
+crash". Three cooperating subsystems:
+
+* :mod:`~repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-request
+  span trees on one monotonic clock (``time.perf_counter``), threaded
+  through the whole serving path — submit, queue wait, bucket dispatch,
+  micro-batch assembly, compile (one child per compiler pass, lifted
+  from the :class:`~repro.compiler.passes.PassTrace`), execute, plus
+  graph-node, template hit/miss, and speculation-cycle spans — and a
+  Chrome-trace/Perfetto JSON exporter. A disabled tracer is the no-op
+  :data:`NULL_TRACER`; hot paths pay one attribute load and a branch.
+* :mod:`~repro.obs.metrics` — :class:`Counter` / :class:`Gauge` /
+  :class:`Histogram` behind a :class:`MetricsRegistry` with labels and
+  Prometheus text exposition (:meth:`MetricsRegistry.render`);
+  :func:`server_metrics` publishes every runtime, compile-cache, disk,
+  graph, and speculation counter into one scrapeable registry.
+* :mod:`~repro.obs.flight` — :class:`FlightRecorder`: a bounded ring
+  buffer of recent span/event records the server dumps to disk on
+  ``close()`` and on worker-loop exceptions, for postmortems.
+
+See ``docs/observability.md`` for the span taxonomy, the metric naming
+convention, and a flight-recorder walkthrough.
+"""
+
+from repro.obs.flight import FlightRecorder
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    server_metrics,
+)
+from repro.obs.trace import (
+    NULL_TRACER,
+    NullTracer,
+    Span,
+    Tracer,
+    validate_chrome_trace,
+)
+
+__all__ = [
+    "Counter",
+    "FlightRecorder",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "NULL_TRACER",
+    "NullTracer",
+    "Span",
+    "Tracer",
+    "server_metrics",
+    "validate_chrome_trace",
+]

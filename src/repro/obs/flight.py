@@ -1,0 +1,153 @@
+"""The flight recorder: a bounded ring of recent events for postmortems.
+
+A :class:`FlightRecorder` keeps the last ``capacity`` records — finished
+trace spans (fed automatically when attached to a
+:class:`~repro.obs.trace.Tracer`) and free-form events
+(:meth:`FlightRecorder.note`: worker exceptions, lifecycle marks) — in
+memory at O(1) cost. :meth:`dump` writes them to disk as JSON;
+:class:`~repro.runtime.server.RuntimeServer` dumps on ``close()`` and
+whenever a worker loop dies with an unexpected exception, so a crashed
+or misbehaving server always leaves a black box behind.
+
+Record timestamps are ``time.perf_counter`` like every span; the dump
+*header* carries the one sanctioned wall-clock timestamp in the
+codebase (``time.time``), so a postmortem can anchor the monotonic
+timeline to calendar time.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from collections import deque
+from typing import Any, Dict, List, Optional
+
+from repro.errors import CypressError
+
+
+class FlightRecorder:
+    """A thread-safe bounded ring buffer of span/event records.
+
+    Args:
+        capacity: records retained; the oldest fall off first.
+        path: default dump destination for :meth:`dump` (and what the
+            server uses on close/crash). ``None`` means callers must
+            pass a path explicitly.
+    """
+
+    def __init__(self, capacity: int = 4096, path=None) -> None:
+        if capacity < 1:
+            raise CypressError(
+                f"flight recorder capacity must be >= 1, got {capacity!r}"
+            )
+        self.capacity = capacity
+        self.path = path
+        self._lock = threading.Lock()
+        self._records: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
+        self._recorded = 0
+        self._dumps = 0
+
+    def record_span(self, span) -> None:
+        """Append one finished :class:`~repro.obs.trace.Span`.
+
+        This is the :class:`~repro.obs.trace.Tracer` feed — attach the
+        recorder as ``Tracer(recorder=...)`` and every closed span
+        lands here automatically.
+        """
+        self._append(
+            {
+                "kind": "span",
+                "name": span.name,
+                "cat": span.cat,
+                "sid": span.sid,
+                "parent": span.parent,
+                "tid": span.tid,
+                "start_s": span.start_s,
+                "end_s": span.end_s,
+                "args": dict(span.args),
+            }
+        )
+
+    def note(
+        self, name: str, args: Optional[Dict[str, Any]] = None
+    ) -> None:
+        """Append one instantaneous event (exception, lifecycle mark).
+
+        Args:
+            name: event name (``"worker-exception"``, ``"close"``...).
+            args: free-form attributes; exceptions go in as strings.
+        """
+        self._append(
+            {
+                "kind": "event",
+                "name": name,
+                "t_s": time.perf_counter(),
+                "args": dict(args) if args else {},
+            }
+        )
+
+    def _append(self, record: Dict[str, Any]) -> None:
+        with self._lock:
+            self._records.append(record)
+            self._recorded += 1
+
+    def records(self) -> List[Dict[str, Any]]:
+        """A snapshot of retained records, oldest first."""
+        with self._lock:
+            return list(self._records)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    @property
+    def recorded(self) -> int:
+        """Records appended over the recorder's lifetime (retained or
+        not)."""
+        with self._lock:
+            return self._recorded
+
+    @property
+    def dumps(self) -> int:
+        """How many times :meth:`dump` has written a file."""
+        with self._lock:
+            return self._dumps
+
+    def dump(self, path=None, reason: str = "manual") -> Optional[str]:
+        """Write the ring to disk as JSON; returns the path written.
+
+        The header carries the dump ``reason`` (``"close"``,
+        ``"worker-exception"``, ...), a wall-clock timestamp — the one
+        place outside trace-export headers wall time appears — and the
+        retained/lifetime record counts. Returns ``None`` (without
+        writing) when no path was given at construction or call time.
+
+        Args:
+            path: destination override; defaults to the constructor's.
+            reason: why the dump happened, recorded in the header.
+        """
+        destination = path if path is not None else self.path
+        if destination is None:
+            return None
+        with self._lock:
+            records = list(self._records)
+            recorded = self._recorded
+            self._dumps += 1
+        payload = {
+            "flight_recorder": {
+                "reason": reason,
+                "wall_time_s": time.time(),
+                "wall_time_iso": time.strftime(
+                    "%Y-%m-%dT%H:%M:%S", time.localtime()
+                ),
+                "capacity": self.capacity,
+                "retained": len(records),
+                "recorded": recorded,
+            },
+            "records": records,
+        }
+        with open(destination, "w") as handle:
+            json.dump(payload, handle, indent=1, default=str)
+            handle.write("\n")
+        return str(destination)

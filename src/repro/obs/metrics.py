@@ -1,0 +1,504 @@
+"""A unified metrics registry with Prometheus text exposition.
+
+Three instrument kinds — :class:`Counter` (monotonic), :class:`Gauge`
+(point-in-time), :class:`Histogram` (bucketed distribution) — live in a
+:class:`MetricsRegistry`, each optionally split by labels. The registry
+renders the standard Prometheus text-exposition format
+(:meth:`MetricsRegistry.render`) so the future fleet gateway can serve
+it from a ``/metrics`` endpoint and existing scrapers ingest it as-is.
+
+:func:`server_metrics` is the bridge from the runtime's siloed
+snapshots: it publishes every :class:`~repro.runtime.telemetry.
+RuntimeStats` counter/percentile, the process-wide compile-cache
+:class:`~repro.compiler.cache.CacheStats`, the disk tier's
+:class:`~repro.runtime.diskcache.DiskCacheStats`, and the speculation
+counters into one scrapeable registry.
+
+Naming convention (see ``docs/observability.md``): every metric is
+prefixed ``repro_``, counters end in ``_total``, time is in seconds
+(``_seconds`` suffix), sizes in bytes; dimensions that would otherwise
+multiply metric names (cache tier, kernel, compiler pass) become
+labels.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import CypressError
+
+#: Default histogram buckets: request latencies from 100µs to ~16s.
+DEFAULT_BUCKETS = (
+    0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01, 0.025,
+    0.05, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0,
+)
+
+_LABEL_ESCAPES = str.maketrans(
+    {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
+)
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    as_int = int(value)
+    return str(as_int) if value == as_int else repr(value)
+
+
+def _format_labels(
+    names: Sequence[str], values: Sequence[str], extra: str = ""
+) -> str:
+    parts = [
+        f'{name}="{str(value).translate(_LABEL_ESCAPES)}"'
+        for name, value in zip(names, values)
+    ]
+    if extra:
+        parts.append(extra)
+    return "{" + ",".join(parts) + "}" if parts else ""
+
+
+class _Metric:
+    """Shared base: a named family with fixed label names and one
+    child value per label-value tuple."""
+
+    kind = "untyped"
+
+    def __init__(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> None:
+        if not name or not name.replace("_", "").replace(":", "").isalnum():
+            raise CypressError(f"invalid metric name {name!r}")
+        self.name = name
+        self.help = help
+        self.label_names = tuple(labels)
+        self._lock = threading.Lock()
+        self._children: Dict[Tuple[str, ...], object] = {}
+
+    def _key(self, label_values: Sequence[str]) -> Tuple[str, ...]:
+        values = tuple(str(value) for value in label_values)
+        if len(values) != len(self.label_names):
+            raise CypressError(
+                f"metric {self.name!r} takes labels {self.label_names}, "
+                f"got {values!r}"
+            )
+        return values
+
+    def labelled(self) -> List[Tuple[Tuple[str, ...], object]]:
+        """Snapshot of ``(label values, child)`` pairs, insertion order."""
+        with self._lock:
+            return list(self._children.items())
+
+
+class Counter(_Metric):
+    """A monotonically increasing count (requests served, cache hits).
+
+    Use :meth:`inc` to add; :meth:`set_total` exists for publishing an
+    externally maintained monotonic counter (the telemetry bridge) and
+    still refuses to go backwards.
+    """
+
+    kind = "counter"
+
+    def inc(self, amount: float = 1.0, *labels) -> None:
+        """Add ``amount`` (>= 0) to the child named by ``labels``."""
+        if amount < 0:
+            raise CypressError(
+                f"counter {self.name!r} cannot decrease (inc {amount!r})"
+            )
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def set_total(self, total: float, *labels) -> None:
+        """Publish an externally tracked monotonic total for ``labels``.
+
+        Raises :class:`~repro.errors.CypressError` if ``total`` is below
+        the published value — a counter that moves backwards means two
+        publishers disagree about who owns the metric.
+        """
+        key = self._key(labels)
+        with self._lock:
+            current = self._children.get(key, 0.0)
+            if total < current:
+                raise CypressError(
+                    f"counter {self.name!r}{key} cannot decrease: "
+                    f"{current} -> {total}"
+                )
+            self._children[key] = float(total)
+
+    def value(self, *labels) -> float:
+        """Current total for ``labels`` (0.0 if never touched)."""
+        with self._lock:
+            return float(self._children.get(self._key(labels), 0.0))
+
+
+class Gauge(_Metric):
+    """A value that goes up and down (queue depth, cache capacity)."""
+
+    kind = "gauge"
+
+    def set(self, value: float, *labels) -> None:
+        """Set the child named by ``labels`` to ``value``."""
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = float(value)
+
+    def inc(self, amount: float = 1.0, *labels) -> None:
+        """Add ``amount`` (may be negative) to the child."""
+        key = self._key(labels)
+        with self._lock:
+            self._children[key] = self._children.get(key, 0.0) + amount
+
+    def dec(self, amount: float = 1.0, *labels) -> None:
+        """Subtract ``amount`` from the child."""
+        self.inc(-amount, *labels)
+
+    def value(self, *labels) -> float:
+        """Current value for ``labels`` (0.0 if never set)."""
+        with self._lock:
+            return float(self._children.get(self._key(labels), 0.0))
+
+
+class _HistogramChild:
+    __slots__ = ("counts", "total", "count")
+
+    def __init__(self, nbuckets: int) -> None:
+        self.counts = [0] * nbuckets
+        self.total = 0.0
+        self.count = 0
+
+
+class Histogram(_Metric):
+    """A bucketed distribution (latency), Prometheus-style: cumulative
+    ``_bucket{le=...}`` counts plus ``_sum`` and ``_count``.
+
+    Bucket bounds are upper edges in ascending order; an implicit
+    ``+Inf`` bucket catches the tail.
+    """
+
+    kind = "histogram"
+
+    def __init__(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> None:
+        super().__init__(name, help, labels)
+        bounds = tuple(float(bound) for bound in buckets)
+        if not bounds or any(
+            b <= a for a, b in zip(bounds, bounds[1:])
+        ):
+            raise CypressError(
+                f"histogram {name!r} buckets must be ascending and "
+                f"non-empty, got {buckets!r}"
+            )
+        self.buckets = bounds
+
+    def observe(self, value: float, *labels) -> None:
+        """Record one observation of ``value`` for ``labels``."""
+        key = self._key(labels)
+        with self._lock:
+            child = self._children.get(key)
+            if child is None:
+                child = self._children[key] = _HistogramChild(
+                    len(self.buckets)
+                )
+            for index, bound in enumerate(self.buckets):
+                if value <= bound:
+                    child.counts[index] += 1
+                    break
+            child.total += value
+            child.count += 1
+
+    def count(self, *labels) -> int:
+        """Observations recorded for ``labels``."""
+        with self._lock:
+            child = self._children.get(self._key(labels))
+            return child.count if child is not None else 0
+
+
+class MetricsRegistry:
+    """A namespace of metric families with Prometheus text exposition.
+
+    Families register once by name (re-registration with the same kind
+    and labels returns the existing family, so publishers are
+    idempotent) and :meth:`render` emits the whole registry in the
+    text-exposition format a Prometheus scraper ingests.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._metrics: Dict[str, _Metric] = {}
+
+    def counter(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Counter:
+        """Register (or fetch) a :class:`Counter` family."""
+        return self._register(Counter(name, help, labels))
+
+    def gauge(
+        self, name: str, help: str, labels: Sequence[str] = ()
+    ) -> Gauge:
+        """Register (or fetch) a :class:`Gauge` family."""
+        return self._register(Gauge(name, help, labels))
+
+    def histogram(
+        self,
+        name: str,
+        help: str,
+        labels: Sequence[str] = (),
+        buckets: Sequence[float] = DEFAULT_BUCKETS,
+    ) -> Histogram:
+        """Register (or fetch) a :class:`Histogram` family."""
+        return self._register(Histogram(name, help, labels, buckets))
+
+    def _register(self, metric: _Metric) -> "_Metric":
+        with self._lock:
+            existing = self._metrics.get(metric.name)
+            if existing is not None:
+                if (
+                    type(existing) is not type(metric)
+                    or existing.label_names != metric.label_names
+                ):
+                    raise CypressError(
+                        f"metric {metric.name!r} already registered as "
+                        f"{existing.kind} with labels "
+                        f"{existing.label_names}"
+                    )
+                return existing
+            self._metrics[metric.name] = metric
+            return metric
+
+    def get(self, name: str) -> Optional[_Metric]:
+        """The registered family named ``name``, or ``None``."""
+        with self._lock:
+            return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        """Registered family names, insertion order."""
+        with self._lock:
+            return list(self._metrics)
+
+    def render(self) -> str:
+        """The whole registry in Prometheus text-exposition format.
+
+        One ``# HELP`` / ``# TYPE`` header per family followed by its
+        children; histograms expand into cumulative ``_bucket{le=...}``
+        series plus ``_sum`` and ``_count``. Families with no children
+        yet still emit their headers (so a scraper sees the schema
+        before traffic arrives).
+        """
+        lines: List[str] = []
+        with self._lock:
+            metrics = list(self._metrics.values())
+        for metric in metrics:
+            lines.append(f"# HELP {metric.name} {metric.help}")
+            lines.append(f"# TYPE {metric.name} {metric.kind}")
+            for values, child in metric.labelled():
+                if isinstance(metric, Histogram):
+                    self._render_histogram(lines, metric, values, child)
+                else:
+                    labels = _format_labels(metric.label_names, values)
+                    lines.append(
+                        f"{metric.name}{labels} {_format_value(child)}"
+                    )
+        return "\n".join(lines) + "\n"
+
+    @staticmethod
+    def _render_histogram(
+        lines: List[str],
+        metric: Histogram,
+        values: Tuple[str, ...],
+        child: _HistogramChild,
+    ) -> None:
+        cumulative = 0
+        for bound, count in zip(metric.buckets, child.counts):
+            cumulative += count
+            labels = _format_labels(
+                metric.label_names, values, f'le="{_format_value(bound)}"'
+            )
+            lines.append(f"{metric.name}_bucket{labels} {cumulative}")
+        labels = _format_labels(metric.label_names, values, 'le="+Inf"')
+        lines.append(f"{metric.name}_bucket{labels} {child.count}")
+        plain = _format_labels(metric.label_names, values)
+        lines.append(
+            f"{metric.name}_sum{plain} {_format_value(child.total)}"
+        )
+        lines.append(f"{metric.name}_count{plain} {child.count}")
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._metrics)
+
+
+def server_metrics(
+    server, registry: Optional[MetricsRegistry] = None
+) -> MetricsRegistry:
+    """Publish a server's full state into a :class:`MetricsRegistry`.
+
+    Bridges every siloed snapshot — :meth:`RuntimeServer.stats`
+    (requests, latency percentiles, tiers, batches, graphs,
+    speculation, per-kernel throughput), the process-wide compile
+    cache's :class:`~repro.compiler.cache.CacheStats`, and the attached
+    disk tier's :class:`~repro.runtime.diskcache.DiskCacheStats` — into
+    one registry whose :meth:`~MetricsRegistry.render` a ``/metrics``
+    endpoint can serve. Call again with the same registry to refresh;
+    counters re-publish via ``set_total`` so a snapshot that went
+    backwards (two servers sharing one registry) fails loudly instead
+    of silently zig-zagging.
+
+    Args:
+        server: a :class:`~repro.runtime.server.RuntimeServer`.
+        registry: registry to publish into (default: a fresh one).
+
+    Returns:
+        The registry, fully populated.
+    """
+    from repro.compiler.cache import compile_cache
+
+    reg = registry if registry is not None else MetricsRegistry()
+    stats = server.stats()
+
+    requests = reg.counter(
+        "repro_requests_total", "Requests submitted to the runtime server."
+    )
+    requests.set_total(stats.requests)
+    completed = reg.counter(
+        "repro_requests_completed_total", "Requests served to completion."
+    )
+    completed.set_total(stats.completed)
+    failed = reg.counter(
+        "repro_requests_failed_total", "Requests that resolved with an error."
+    )
+    failed.set_total(stats.failed)
+    reg.gauge(
+        "repro_queue_depth", "Requests waiting in the priority queue."
+    ).set(stats.queue_depth)
+    reg.gauge(
+        "repro_uptime_seconds", "Server uptime at snapshot time."
+    ).set(stats.uptime_s)
+    batches = reg.counter(
+        "repro_batches_total", "Micro-batches executed."
+    )
+    batches.set_total(stats.batches)
+    reg.gauge(
+        "repro_batch_size_max", "Largest micro-batch served so far."
+    ).set(stats.max_batch_size)
+
+    tiers = reg.counter(
+        "repro_tier_requests_total",
+        "Completed requests by the cache tier that produced the kernel.",
+        labels=("tier",),
+    )
+    for tier, count in stats.tier_counts.items():
+        tiers.set_total(count, tier)
+
+    latency = reg.gauge(
+        "repro_request_latency_seconds",
+        "Request latency percentiles over the telemetry window.",
+        labels=("quantile",),
+    )
+    latency.set(stats.p50_latency_s, "0.5")
+    latency.set(stats.p95_latency_s, "0.95")
+
+    kernel_requests = reg.counter(
+        "repro_kernel_requests_total",
+        "Requests served per registered kernel.",
+        labels=("kernel",),
+    )
+    kernel_latency = reg.gauge(
+        "repro_kernel_latency_seconds",
+        "Per-kernel latency percentiles over the telemetry window.",
+        labels=("kernel", "quantile"),
+    )
+    for name, kernel in stats.per_kernel.items():
+        kernel_requests.set_total(kernel.requests, name)
+        kernel_latency.set(kernel.p50_latency_s, name, "0.5")
+        kernel_latency.set(kernel.p95_latency_s, name, "0.95")
+
+    graphs = reg.counter(
+        "repro_graphs_total", "Task graphs submitted."
+    )
+    graphs.set_total(stats.graphs)
+    reg.counter(
+        "repro_graphs_completed_total", "Task graphs completed."
+    ).set_total(stats.graphs_completed)
+    reg.counter(
+        "repro_graphs_failed_total", "Task graphs that failed."
+    ).set_total(stats.graphs_failed)
+    reg.counter(
+        "repro_graph_nodes_total", "Kernel launches submitted via graphs."
+    ).set_total(stats.graph_nodes)
+    makespan = reg.gauge(
+        "repro_graph_makespan_seconds",
+        "Graph makespan percentiles over the telemetry window.",
+        labels=("quantile",),
+    )
+    makespan.set(stats.p50_graph_makespan_s, "0.5")
+    makespan.set(stats.p95_graph_makespan_s, "0.95")
+
+    reg.counter(
+        "repro_speculative_compiles_total",
+        "Kernels compiled in the background by the speculator.",
+    ).set_total(stats.speculative_compiles)
+    reg.counter(
+        "repro_speculation_issued_total",
+        "Buckets precompiled speculatively.",
+    ).set_total(stats.speculation_issued)
+    reg.counter(
+        "repro_speculation_hits_total",
+        "Speculatively precompiled buckets that later saw real traffic.",
+    ).set_total(stats.speculation_hits)
+
+    cache = compile_cache.stats
+    reg.counter(
+        "repro_compile_cache_hits_total", "In-memory compile-cache hits."
+    ).set_total(cache.hits)
+    reg.counter(
+        "repro_compile_cache_misses_total",
+        "Compile-cache misses (ran the full pass pipeline).",
+    ).set_total(cache.misses)
+    reg.counter(
+        "repro_compile_cache_second_tier_hits_total",
+        "Compile-cache lookups answered by the persistent tier.",
+    ).set_total(cache.second_tier_hits)
+    reg.counter(
+        "repro_compile_cache_evictions_total",
+        "Compile-cache LRU evictions.",
+    ).set_total(cache.evictions)
+    reg.gauge(
+        "repro_compile_cache_capacity", "Compile-cache entry capacity."
+    ).set(cache.capacity)
+
+    if getattr(server, "disk_tier", None) is not None:
+        disk = server.disk_tier.stats
+        disk_ops = reg.counter(
+            "repro_disk_cache_ops_total",
+            "Disk-tier operations by outcome.",
+            labels=("op",),
+        )
+        disk_ops.set_total(disk.hits, "hit")
+        disk_ops.set_total(disk.misses, "miss")
+        disk_ops.set_total(disk.stores, "store")
+        disk_ops.set_total(disk.corrupt, "corrupt")
+        disk_ops.set_total(disk.errors, "error")
+        disk_ops.set_total(disk.pruned, "pruned")
+        reg.counter(
+            "repro_disk_cache_pruned_bytes_total",
+            "Bytes evicted by the disk tier's LRU budget.",
+        ).set_total(disk.pruned_bytes)
+
+    tracer = getattr(server, "tracer", None)
+    if tracer is not None and tracer.enabled:
+        reg.counter(
+            "repro_trace_spans_total", "Finished trace spans recorded."
+        ).set_total(tracer.span_count)
+        reg.counter(
+            "repro_trace_spans_dropped_total",
+            "Finished spans evicted by the tracer's capacity bound.",
+        ).set_total(tracer.dropped)
+
+    return reg

@@ -38,6 +38,8 @@ from repro.compiler.pipeline import compile_key_for
 from repro.errors import CypressError
 from repro.gpusim.gpu import GpuResult
 from repro.machine.machine import MachineModel
+from repro.obs.flight import FlightRecorder
+from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime.bucketing import Bucket
 from repro.runtime.diskcache import DiskCacheTier
 from repro.runtime.registry import (
@@ -112,6 +114,10 @@ class _QueuedRequest:
     future: "Future[RuntimeResult]" = field(compare=False)
     submitted_at: float = field(compare=False)
     batch_key: Tuple[str, Bucket] = field(compare=False)
+    #: Root "request" span (None when tracing is off) and the parent
+    #: span to nest it under (the graph scheduler's node span).
+    span: Any = field(compare=False, default=None)
+    trace_parent: Any = field(compare=False, default=None)
 
 
 class RuntimeServer:
@@ -133,6 +139,17 @@ class RuntimeServer:
             time, so ``warm()`` becomes continuous. Pass ``True`` for
             defaults or a :class:`~repro.runtime.speculate.
             SpeculatorConfig` for custom knobs.
+        trace: record per-request span trees (queue wait, dispatch,
+            micro-batch assembly, compile with per-pass children,
+            execute) on a :class:`~repro.obs.trace.Tracer`. Pass
+            ``True`` for a fresh tracer or an existing one to share;
+            export with :meth:`export_trace`. Off by default — the
+            disabled tracer is the no-op :data:`~repro.obs.trace.
+            NULL_TRACER` and the hot path pays one branch.
+        flight: a :class:`~repro.obs.flight.FlightRecorder` (or a dump
+            path for a default-sized one) fed every finished span and
+            dumped to disk on :meth:`close` and on worker-loop
+            exceptions, for postmortems.
         start: spawn workers immediately; ``start=False`` lets tests and
             batch loaders enqueue before serving begins (call
             :meth:`start`).
@@ -155,6 +172,8 @@ class RuntimeServer:
         max_batch: int = 8,
         options: Optional[CompileOptions] = None,
         speculate: Union[bool, "SpeculatorConfig"] = False,
+        trace: Union[bool, Tracer] = False,
+        flight: Union[None, str, FlightRecorder] = None,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -179,6 +198,20 @@ class RuntimeServer:
         #: so close(drain=False) can fail (never strand) their futures.
         self._live_graphs: Dict[int, Any] = {}
         self.telemetry = Telemetry()
+        if isinstance(flight, FlightRecorder):
+            self.flight: Optional[FlightRecorder] = flight
+        elif flight is not None:
+            self.flight = FlightRecorder(path=flight)
+        else:
+            self.flight = None
+        if isinstance(trace, Tracer):
+            self.tracer = trace
+            if self.flight is not None and trace.recorder is None:
+                trace.recorder = self.flight
+        elif trace:
+            self.tracer = Tracer(recorder=self.flight)
+        else:
+            self.tracer = NULL_TRACER
         self.speculator: Optional[Speculator] = None
         if speculate:
             config = (
@@ -271,6 +304,9 @@ class RuntimeServer:
                     and self._previous_tier not in _RETIRED_TIERS
                 ):
                     compile_cache.attach_second_tier(self._previous_tier)
+        if self.flight is not None:
+            self.flight.note("close", {"drain": drain})
+            self.flight.dump(reason="close")
 
     def __enter__(self) -> "RuntimeServer":
         return self
@@ -359,6 +395,21 @@ class RuntimeServer:
         if not requests:
             return
         now = time.perf_counter()
+        tracer = self.tracer
+        if tracer.enabled:
+            # Before enqueue: a worker may pop (and trace) the request
+            # the instant the lock drops.
+            for request in requests:
+                request.span = tracer.begin(
+                    "request",
+                    "serve",
+                    parent=request.trace_parent,
+                    args={
+                        "kernel": request.kernel.name,
+                        "bucket": request.bucket.label(),
+                    },
+                    start_s=now,
+                )
         pairs = []
         with self._cv:
             # Checked under the lock: a request enqueued after close()
@@ -566,6 +617,9 @@ class RuntimeServer:
                 if not self._queue:
                     return
                 request = heapq.heappop(self._queue)
+                popped_at = (
+                    time.perf_counter() if self.tracer.enabled else 0.0
+                )
                 batch = [request]
                 if self.max_batch > 1 and self._queue:
                     same = sorted(
@@ -584,9 +638,45 @@ class RuntimeServer:
                         ]
                         heapq.heapify(self._queue)
                         batch.extend(same)
-            self._execute_batch(batch)
+            try:
+                self._execute_batch(batch, popped_at)
+            except Exception as error:  # pragma: no cover - crash path
+                # _execute_batch handles per-request errors itself; an
+                # exception escaping it (telemetry, tracing, future
+                # plumbing) would otherwise kill this worker silently.
+                # Fail whatever is unresolved and leave a black box.
+                self._worker_crash(batch, error)
 
-    def _execute_batch(self, batch: List[_QueuedRequest]) -> None:
+    def _worker_crash(
+        self, batch: List[_QueuedRequest], error: Exception
+    ) -> None:
+        """Fail a batch's unresolved futures after an unexpected
+        worker-loop exception and dump the flight recorder."""
+        failed = 0
+        for request in batch:
+            if not request.future.done():
+                try:
+                    request.future.set_exception(error)
+                    failed += 1
+                except Exception:
+                    pass
+        if failed:
+            self.telemetry.record_failure(failed)
+        if self.flight is not None:
+            self.flight.note(
+                "worker-exception",
+                {
+                    "error": repr(error),
+                    "kernel": batch[0].kernel.name,
+                    "bucket": batch[0].bucket.label(),
+                    "requests_failed": failed,
+                },
+            )
+            self.flight.dump(reason="worker-exception")
+
+    def _execute_batch(
+        self, batch: List[_QueuedRequest], popped_at: float = 0.0
+    ) -> None:
         live = [
             request
             for request in batch
@@ -594,22 +684,34 @@ class RuntimeServer:
         ]
         if not live:
             return
+        tracer = self.tracer
+        tracing = tracer.enabled
+        assembled_at = time.perf_counter() if tracing else 0.0
         self.telemetry.record_batch(len(live))
         head = live[0]
         if self.speculator is not None:
             self.speculator.note_request(head.kernel.name, head.bucket)
         try:
+            compile_start = time.perf_counter() if tracing else 0.0
             kernel, tier, _key = self._obtain_kernel(
                 head.kernel, head.bucket
             )
+            compile_end = time.perf_counter() if tracing else 0.0
             from repro import api
 
             gpu = api.simulate(kernel, self.machine)
         except Exception as error:
             self.telemetry.record_failure(len(live))
             for request in live:
+                if request.span is not None:
+                    tracer.end(request.span, args={"error": repr(error)})
                 request.future.set_exception(error)
             return
+        if tracing:
+            self._record_batch_spans(
+                live, kernel, tier, popped_at, assembled_at,
+                compile_start, compile_end,
+            )
         params = self._bucket_params.get(head.batch_key)
         for request in live:
             try:
@@ -620,7 +722,8 @@ class RuntimeServer:
                     outputs = api.run_functional(
                         kernel, dict(request.inputs)
                     )
-                latency = time.perf_counter() - request.submitted_at
+                done_at = time.perf_counter()
+                latency = done_at - request.submitted_at
                 result = RuntimeResult(
                     kernel=request.kernel.name,
                     build_name=kernel.name,
@@ -636,10 +739,92 @@ class RuntimeServer:
                 self.telemetry.record_result(
                     request.kernel.name, latency, tier, gpu.tflops
                 )
+                if request.span is not None:
+                    tracer.record(
+                        "execute", "serve", compile_end, done_at,
+                        parent=request.span,
+                    )
+                    # The root span must close before set_result: a
+                    # graph node's done-callback runs synchronously
+                    # inside it and closes this span's parent.
+                    tracer.end(
+                        request.span,
+                        args={"tier": tier, "batch_size": len(live)},
+                    )
                 request.future.set_result(result)
             except Exception as error:
                 self.telemetry.record_failure()
+                if request.span is not None and not request.span.closed:
+                    tracer.end(request.span, args={"error": repr(error)})
                 request.future.set_exception(error)
+
+    def _record_batch_spans(
+        self,
+        live: List[_QueuedRequest],
+        kernel: Any,
+        tier: str,
+        popped_at: float,
+        assembled_at: float,
+        compile_start: float,
+        compile_end: float,
+    ) -> None:
+        """Record the shared per-batch child spans.
+
+        Every request gets a ``queue`` child (its own submit time to
+        the batch's pop/assembly); the head request additionally owns
+        the batch-wide stages — ``dispatch`` (heap pop + same-bucket
+        scan), ``batch`` (micro-batch finalization), and ``compile``
+        (kernel acquisition, with one ``pass.*`` child per compiler
+        pass lifted from the kernel's :class:`~repro.compiler.passes.
+        PassTrace` when the batch actually compiled).
+        """
+        tracer = self.tracer
+        head = live[0]
+        for request in live:
+            if request.span is None:
+                continue
+            waited_until = popped_at if request is head else assembled_at
+            tracer.record(
+                "queue", "serve",
+                request.submitted_at, max(waited_until, request.submitted_at),
+                parent=request.span,
+            )
+        if head.span is None:
+            return
+        tracer.record(
+            "dispatch", "serve", popped_at, assembled_at,
+            parent=head.span, args={"batch_size": len(live)},
+        )
+        tracer.record(
+            "batch", "serve", assembled_at, compile_start, parent=head.span
+        )
+        compile_span = tracer.record(
+            "compile", "compile", compile_start, compile_end,
+            parent=head.span, args={"tier": tier},
+        )
+        if tier != TIER_COMPILE:
+            return
+        trace = getattr(kernel, "pass_trace", None)
+        if trace is None:
+            return
+        for record in trace.records:
+            if record.started_at_s <= 0.0:
+                continue
+            # Clamp into the compile span: under concurrent compiles of
+            # the same key, the PassTrace on the returned kernel may
+            # belong to another thread's (earlier) pipeline run.
+            start = min(max(record.started_at_s, compile_start), compile_end)
+            end = min(max(start, record.started_at_s + record.wall_time_s),
+                      compile_end)
+            tracer.record(
+                f"pass.{record.name}", "compile", start, end,
+                parent=compile_span,
+                args={
+                    "ops_before": record.ops_before,
+                    "ops_after": record.ops_after,
+                    "wall_time_s": record.wall_time_s,
+                },
+            )
 
     # ------------------------------------------------------------------
     # Graph bookkeeping
@@ -658,10 +843,43 @@ class RuntimeServer:
     # ------------------------------------------------------------------
     def stats(self) -> RuntimeStats:
         """A frozen telemetry snapshot (latency percentiles, tier hit
-        rates, queue depth, per-kernel throughput)."""
+        rates, queue depth, per-kernel throughput, tracing volume)."""
         with self._cv:
             depth = len(self._queue)
-        return self.telemetry.snapshot(queue_depth=depth)
+        return self.telemetry.snapshot(
+            queue_depth=depth,
+            trace_enabled=self.tracer.enabled,
+            trace_spans=self.tracer.span_count,
+            flight_records=(
+                self.flight.recorded if self.flight is not None else 0
+            ),
+        )
+
+    def metrics(self, registry=None):
+        """Publish this server's full state into a
+        :class:`~repro.obs.metrics.MetricsRegistry` (every runtime,
+        compile-cache, disk, graph, and speculation counter) and return
+        it; ``registry.render()`` is the Prometheus exposition a
+        ``/metrics`` endpoint serves. Pass an existing registry to
+        refresh it in place."""
+        from repro.obs.metrics import server_metrics
+
+        return server_metrics(self, registry)
+
+    def export_trace(self, path) -> str:
+        """Export the tracer's buffered spans as Chrome-trace JSON
+        (loadable in ``chrome://tracing`` / Perfetto); returns the
+        path written.
+
+        Raises:
+            CypressError: tracing is disabled on this server.
+        """
+        if not self.tracer.enabled:
+            raise CypressError(
+                "tracing is disabled; construct the server with "
+                "trace=True to record spans"
+            )
+        return self.tracer.export_chrome_trace(path)
 
     @property
     def queue_depth(self) -> int:

@@ -156,6 +156,16 @@ class Speculator:
         Returns:
             The number of kernels compiled this cycle.
         """
+        tracer = self.server.tracer
+        if not tracer.enabled:
+            return self._run_cycle()
+        with tracer.span("speculate.cycle", "speculate") as span:
+            compiled = self._run_cycle()
+            span.args["compiles"] = compiled
+        return compiled
+
+    def _run_cycle(self) -> int:
+        """One cycle's actual work (see :meth:`run_once`)."""
         server = self.server
         traffic = server.telemetry.bucket_traffic()
         compiled = 0

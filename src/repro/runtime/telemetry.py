@@ -29,6 +29,10 @@ TIER_DISK = "disk"
 TIER_COMPILE = "compile"
 TIERS = (TIER_MEMORY, TIER_DISK, TIER_COMPILE)
 
+#: Version of the ``RuntimeStats.to_json()`` schema. Bump on any
+#: renamed/removed key; consumers (benchmarks, dashboards) key off it.
+STATS_SCHEMA_VERSION = 1
+
 
 def percentile(values: Sequence[float], q: float) -> float:
     """Nearest-rank percentile (q in [0, 100]); 0.0 for no samples.
@@ -83,6 +87,9 @@ class RuntimeStats:
     speculative_compiles: int = 0
     speculation_issued: int = 0
     speculation_hits: int = 0
+    trace_enabled: bool = False
+    trace_spans: int = 0
+    flight_records: int = 0
 
     @property
     def speculation_wasted(self) -> int:
@@ -105,6 +112,70 @@ class RuntimeStats:
         """Fraction of completed requests served by ``tier`` (0.0-1.0)."""
         total = sum(self.tier_counts.values())
         return self.tier_counts.get(tier, 0) / total if total else 0.0
+
+    def to_json(self) -> Dict:
+        """A stable, schema-versioned dict of every counter/percentile.
+
+        The machine-readable counterpart of :meth:`table`: benchmarks
+        embed it in their ``BENCH_*.json`` reports and dashboards
+        ingest it directly, instead of plucking ad-hoc fields off the
+        dataclass. The layout is a contract — ``schema_version``
+        (:data:`STATS_SCHEMA_VERSION`) bumps on any renamed or removed
+        key, and every value is a JSON-native scalar/dict.
+        """
+        return {
+            "schema_version": STATS_SCHEMA_VERSION,
+            "runtime": {
+                "uptime_s": self.uptime_s,
+                "requests": self.requests,
+                "completed": self.completed,
+                "failed": self.failed,
+                "queue_depth": self.queue_depth,
+                "batches": self.batches,
+                "max_batch_size": self.max_batch_size,
+                "throughput_rps": self.throughput_rps,
+            },
+            "latency": {
+                "p50_s": self.p50_latency_s,
+                "p95_s": self.p95_latency_s,
+            },
+            "tiers": {
+                "counts": {
+                    tier: self.tier_counts.get(tier, 0) for tier in TIERS
+                },
+                "rates": {tier: self.tier_rate(tier) for tier in TIERS},
+            },
+            "graphs": {
+                "submitted": self.graphs,
+                "completed": self.graphs_completed,
+                "failed": self.graphs_failed,
+                "nodes": self.graph_nodes,
+                "p50_makespan_s": self.p50_graph_makespan_s,
+                "p95_makespan_s": self.p95_graph_makespan_s,
+            },
+            "speculation": {
+                "compiles": self.speculative_compiles,
+                "issued": self.speculation_issued,
+                "hits": self.speculation_hits,
+                "wasted": self.speculation_wasted,
+                "wasted_ratio": self.speculation_wasted_ratio,
+            },
+            "obs": {
+                "trace_enabled": self.trace_enabled,
+                "trace_spans": self.trace_spans,
+                "flight_records": self.flight_records,
+            },
+            "kernels": {
+                name: {
+                    "requests": k.requests,
+                    "p50_latency_s": k.p50_latency_s,
+                    "p95_latency_s": k.p95_latency_s,
+                    "throughput_rps": k.throughput_rps,
+                    "mean_tflops": k.mean_tflops,
+                }
+                for name, k in sorted(self.per_kernel.items())
+            },
+        }
 
     def table(self) -> str:
         """A human-readable dashboard, one kernel per row.
@@ -142,6 +213,13 @@ class RuntimeStats:
                 f"({self.graphs_failed} failed), {self.graph_nodes} nodes; "
                 f"makespan p50 {self.p50_graph_makespan_s * 1e3:.2f} ms, "
                 f"p95 {self.p95_graph_makespan_s * 1e3:.2f} ms"
+            )
+        if self.trace_enabled or self.flight_records:
+            lines.append(
+                f"obs:     tracing "
+                f"{'on' if self.trace_enabled else 'off'}, "
+                f"{self.trace_spans} spans; flight recorder "
+                f"{self.flight_records} records"
             )
         lines.append(
             f"{'kernel':<22}{'reqs':>6}{'p50 ms':>9}{'p95 ms':>9}"
@@ -276,11 +354,20 @@ class Telemetry:
         with self._lock:
             self._graphs_failed += 1
 
-    def snapshot(self, queue_depth: int = 0) -> RuntimeStats:
+    def snapshot(
+        self,
+        queue_depth: int = 0,
+        trace_enabled: bool = False,
+        trace_spans: int = 0,
+        flight_records: int = 0,
+    ) -> RuntimeStats:
         """Freeze the collector into a :class:`RuntimeStats` value.
 
         Args:
             queue_depth: current queue depth to embed in the snapshot.
+            trace_enabled: whether the owning server has a live tracer.
+            trace_spans: finished spans the tracer has recorded.
+            flight_records: records appended to the flight recorder.
 
         Returns:
             An immutable view; the collector keeps accumulating.
@@ -327,4 +414,7 @@ class Telemetry:
                 speculative_compiles=self._spec_compiles,
                 speculation_issued=self._spec_issued,
                 speculation_hits=self._spec_hits,
+                trace_enabled=trace_enabled,
+                trace_spans=trace_spans,
+                flight_records=flight_records,
             )

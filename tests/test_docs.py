@@ -5,8 +5,9 @@ invariants so documentation cannot silently regress:
 
 1. every public symbol of ``repro.api``, ``repro.tuner``,
    ``repro.runtime``, ``repro.runtime.speculate``, ``repro.graph``,
-   ``repro.graph.template``, and ``repro.tensors.regions`` (and their
-   public methods) carries a non-empty docstring;
+   ``repro.graph.template``, ``repro.obs``, and
+   ``repro.tensors.regions`` (and their public methods) carries a
+   non-empty docstring;
 2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
    other root guides resolves to an existing file.
 """
@@ -20,6 +21,7 @@ import pytest
 import repro.api
 import repro.graph
 import repro.graph.template
+import repro.obs
 import repro.runtime
 import repro.runtime.speculate
 import repro.tensors.regions
@@ -34,6 +36,7 @@ PUBLIC_MODULES = (
     repro.runtime.speculate,
     repro.graph,
     repro.graph.template,
+    repro.obs,
     repro.tensors.regions,
 )
 
@@ -113,6 +116,7 @@ class TestMarkdownLinks:
     def test_docs_tree_exists(self):
         for guide in (
             "architecture.md", "tuning.md", "serving.md", "graphs.md",
+            "observability.md",
         ):
             assert (REPO_ROOT / "docs" / guide).exists(), guide
 

@@ -1,10 +1,11 @@
 """Smoke tests: the narrative examples run end to end.
 
 ``examples/*.py`` double as user documentation, so they must stay
-runnable. ``quickstart.py`` and ``mapping_tuning.py`` are exercised
-here under a tiny configuration (small shapes, a two-candidate search
-space) so the whole suite stays fast; the remaining examples are
-covered by their docstring contract in ``tests/test_docs.py``.
+runnable. Each example's ``main`` is exercised here under a tiny
+configuration (small shapes, a two-candidate search space, a handful
+of requests) so the whole suite stays fast; the docstring contract
+(every example documents what it shows and what it prints) is enforced
+both here and in ``tests/test_docs.py``.
 """
 
 import importlib.util
@@ -65,6 +66,22 @@ def test_transformer_block_runs_tiny(capsys):
     assert "task graph: 7 nodes" in out
     assert "max |error| vs numpy reference" in out
     assert "graphs:" in out  # the stats table's per-graph line
+
+
+def test_serving_trace_flag_runs_tiny(capsys, tmp_path):
+    import json
+
+    from repro.obs import validate_chrome_trace
+
+    example = _load_example("serving")
+    out_path = tmp_path / "trace.json"
+    example.main(trace_path=str(out_path), requests=10, tune=False)
+    out = capsys.readouterr().out
+    assert "obs:" in out  # the stats table's tracing line
+    assert f"spans to {out_path}" in out
+    events = validate_chrome_trace(json.loads(out_path.read_text()))
+    assert any(event["name"] == "request" for event in events)
+    assert any(event["name"] == "execute" for event in events)
 
 
 def test_every_example_documents_its_output():
