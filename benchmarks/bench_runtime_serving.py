@@ -13,6 +13,7 @@ import time
 from pathlib import Path
 
 import pytest
+from trafficgen import repeated_trace
 
 from repro import api
 from repro.kernels import build_gemm
@@ -20,19 +21,19 @@ from repro.runtime import BucketPolicy, KernelRegistry, RuntimeServer
 
 _RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_runtime.json"
 
-#: Mixed request shapes collapsing onto 4 buckets.
-WORKLOAD = [
-    (m, n, k)
-    for m, n, k in [
+#: Mixed request shapes collapsing onto 4 buckets; the trace comes from
+#: the shared generator (see ``trafficgen``) so it is replayable.
+WORKLOAD = repeated_trace(
+    [
         (100, 200, 60),
         (128, 256, 64),
         (250, 250, 120),
         (256, 256, 128),
         (120, 250, 100),
         (200, 256, 64),
-    ]
-    for _ in range(10)
-]
+    ],
+    repeats=10,
+)
 
 
 def _registry() -> KernelRegistry:

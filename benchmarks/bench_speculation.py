@@ -23,6 +23,8 @@ import json
 import time
 from pathlib import Path
 
+from trafficgen import phase_shift_trace
+
 from repro import api
 from repro.kernels import build_gemm
 from repro.runtime import (
@@ -43,6 +45,12 @@ PHASES = (128, 256, 512)
 
 #: Steady-state requests served per phase after the first.
 STEADY_REQUESTS = 4
+
+#: The shared phase-shift trace (see ``trafficgen``): one inner list
+#: per phase, first request of each is the shift.
+TRACE = phase_shift_trace(
+    [dict(m=m, n=256, k=64) for m in PHASES], STEADY_REQUESTS
+)
 
 
 def _registry():
@@ -99,18 +107,19 @@ def _run_trace(machine, registry, *, speculate):
     with RuntimeServer(
         machine, registry, workers=2, speculate=config
     ) as server:
-        for phase, m in enumerate(PHASES):
-            shape = dict(m=m, n=256, k=64)
-            latency_s, tier = _timed(server, shape)
+        for phase, shapes in enumerate(TRACE):
+            shift, steady = shapes[0], shapes[1:]
+            latency_s, tier = _timed(server, shift)
             first_requests.append(
-                {"m": m, "latency_ms": latency_s * 1e3, "tier": tier}
+                {"m": shift["m"], "latency_ms": latency_s * 1e3,
+                 "tier": tier}
             )
-            for _ in range(STEADY_REQUESTS):
+            for shape in steady:
                 latency_s, _ = _timed(server, shape)
                 steady_s.append(latency_s)
             # The idle gap between phases: real traffic shifts are not
             # back to back, and this is where speculation runs.
-            if speculate and phase < len(PHASES) - 1:
+            if speculate and phase < len(TRACE) - 1:
                 _await_speculation_quiesce(server)
         stats = server.stats()
     # The speculation block comes straight from the schema-versioned

@@ -11,6 +11,11 @@ pipeline metrics (cold/warm compile wall time for the flagship 4096
 GEMM, per-pass timings, compile-cache hit rate) — is written to
 ``benchmarks/BENCH_pipeline.json`` so the performance trajectory of the
 toolchain itself is tracked across PRs.
+
+Serving benchmarks draw their request traces from the shared seeded
+generators in :mod:`trafficgen` (this directory) — Zipfian,
+phase-shift, and repeated-mix traces — instead of ad-hoc loops, so
+every benchmark and the runtime test suites replay identical traffic.
 """
 
 import json
@@ -33,6 +38,7 @@ _SELF_CONTAINED = {
     "bench_costmodel",
     "bench_runtime_serving",
     "bench_graph",
+    "bench_specialize",
     "bench_speculation",
     "bench_trace",
 }

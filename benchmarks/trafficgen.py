@@ -1,0 +1,115 @@
+"""Deterministic traffic-trace generators shared by benchmarks + tests.
+
+Every serving benchmark used to grow its own ad-hoc request loop; this
+module is the one place shape traces come from, so the speculation
+benchmark, the specialization benchmark, the serving benchmark, and the
+runtime test suites all drive servers with the same seeded, replayable
+traffic shapes:
+
+* :func:`zipfian_trace` — skewed stationary traffic (a few hot shapes
+  dominate, a long tail of cold ones), the regime shape specialization
+  targets.
+* :func:`phase_shift_trace` — traffic whose hot shape moves between
+  phases, the regime speculative compilation targets.
+* :func:`repeated_trace` — a fixed shape mix repeated (optionally
+  shuffled), the mixed-bucket serving workload.
+
+All generators are pure functions of their arguments (randomness comes
+from a caller-provided seed through ``numpy``'s PCG64), so a trace is
+reproducible across processes, machines, and PRs.
+"""
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+ShapeDict = Dict[str, int]
+
+
+def zipf_weights(count: int, s: float = 1.1) -> np.ndarray:
+    """Normalized Zipf rank weights ``1/rank**s`` for ``count`` ranks.
+
+    Rank 1 is the hottest. ``s`` controls skew: larger values
+    concentrate more of the mass on the head of the distribution.
+    """
+    ranks = np.arange(1, count + 1, dtype=np.float64)
+    weights = ranks ** -float(s)
+    return weights / weights.sum()
+
+
+def zipfian_trace(
+    candidates: Sequence[ShapeDict],
+    length: int,
+    *,
+    seed: int = 0,
+    s: float = 1.1,
+) -> List[ShapeDict]:
+    """A seeded Zipf-skewed request trace over ``candidates``.
+
+    The first candidate is the hottest shape (rank 1), the second rank
+    2, and so on; ``length`` requests are drawn i.i.d. with
+    :func:`zipf_weights`. Same arguments, same trace — byte for byte.
+
+    Args:
+        candidates: request shapes in descending hotness-rank order.
+        length: number of requests in the trace.
+        seed: PRNG seed.
+        s: Zipf skew exponent.
+
+    Returns:
+        ``length`` shape dicts (shared references into ``candidates``).
+    """
+    rng = np.random.default_rng(seed)
+    weights = zipf_weights(len(candidates), s)
+    picks = rng.choice(len(candidates), size=length, p=weights)
+    return [candidates[index] for index in picks]
+
+
+def phase_shift_trace(
+    phases: Sequence[ShapeDict],
+    steady_requests: int,
+) -> List[List[ShapeDict]]:
+    """A phase-shifting trace: the hot shape moves once per phase.
+
+    Each phase serves its shape ``1 + steady_requests`` times; the
+    first request of a phase is the *shift* (cold unless something
+    precompiled it), the rest are steady state. The nested structure
+    is deliberate — callers time phase boundaries (and insert idle
+    gaps) between the inner lists.
+
+    Args:
+        phases: one hot shape per phase, in order.
+        steady_requests: steady-state requests after each shift.
+
+    Returns:
+        One list of shape dicts per phase.
+    """
+    return [[shape] * (1 + steady_requests) for shape in phases]
+
+
+def repeated_trace(
+    shapes: Sequence[Tuple[int, ...]],
+    repeats: int,
+    *,
+    seed: int = None,
+) -> List[Tuple[int, ...]]:
+    """A fixed shape mix repeated ``repeats`` times.
+
+    With ``seed=None`` the trace cycles the mix in order (the legacy
+    serving-benchmark workload); with a seed it is deterministically
+    shuffled, which interleaves buckets the way concurrent clients
+    would.
+
+    Args:
+        shapes: the shape tuples in the mix.
+        repeats: how many times each shape appears.
+        seed: optional PRNG seed for a deterministic shuffle.
+
+    Returns:
+        ``len(shapes) * repeats`` shape tuples.
+    """
+    trace = [shape for shape in shapes for _ in range(repeats)]
+    if seed is not None:
+        rng = np.random.default_rng(seed)
+        trace = [trace[index] for index in rng.permutation(len(trace))]
+    return trace

@@ -18,7 +18,11 @@ header line (100/100 served), a ``latency:`` line (p50/p95 in ms), a
 ``tiers:`` line whose ``memory`` share dominates, and one row per
 kernel with requests, latency percentiles, req/s, and simulated
 TFLOP/s. With ``--trace`` the table gains an ``obs:`` line and the
-exported span count is printed last.
+exported span count is printed last. With ``--specialize`` a skewed
+hot-shape phase runs first from its generic (padded) bucket, the
+specializer promotes it to a tile-aligned kernel, the same shape is
+served again from the tighter bucket, and the table gains a
+``specialz.:`` line.
 
 Run it::
 
@@ -28,7 +32,9 @@ Pass ``--trace out.json`` to record a span for every request's journey
 through the server (queue -> dispatch -> compile -> batch -> execute)
 and export it as a Chrome trace — open the file in ``chrome://tracing``
 or https://ui.perfetto.dev to see the timeline. See
-``docs/observability.md`` for the span taxonomy.
+``docs/observability.md`` for the span taxonomy. Pass ``--specialize``
+to watch the traffic-driven shape-specialization loop promote a hot
+off-rung shape (see ``docs/specialization.md``).
 """
 
 import argparse
@@ -40,17 +46,23 @@ from repro.machine import hopper_machine
 from repro.tuner import MappingSearchSpace
 
 
-def main(trace_path=None, requests=100, tune=True) -> None:
+def main(trace_path=None, requests=100, tune=True, specialize=False) -> None:
     machine = hopper_machine()
     random.seed(0)
     cache_dir = tempfile.mkdtemp(prefix="repro-serving-")
     print(f"persistent kernel cache: {cache_dir}")
+
+    # A dormant poll interval keeps the demo deterministic: we drive
+    # one specialization cycle explicitly where the background thread
+    # would normally run it during idle time.
+    from repro.runtime import SpecializerConfig
 
     with api.serve(
         machine,
         workers=4,
         disk_cache=cache_dir,
         trace=trace_path is not None,
+        specialize=SpecializerConfig(interval_s=60.0) if specialize else False,
     ) as server:
         # -- warm-up: compile (and tune) bucket kernels before traffic --
         tune_space = MappingSearchSpace(
@@ -106,6 +118,26 @@ def main(trace_path=None, requests=100, tune=True) -> None:
                 f"{result.tflops:7.1f} TFLOP/s"
             )
 
+        # -- shape specialization: a skewed hot shape gets its own
+        # tile-aligned kernel instead of paying bucket padding forever
+        if specialize:
+            hot = dict(m=1100, n=256, k=128)
+            print("\n--- shape specialization (--specialize) ---")
+            generic = server.submit("gemm", hot).result(timeout=600)
+            print(
+                f"hot shape {hot} served from generic bucket "
+                f"{generic.bucket.label()}"
+            )
+            for _ in range(11):  # cross the promotion threshold
+                server.submit("gemm", hot).result(timeout=600)
+            promoted = server.specializer.run_once()
+            print(f"specializer promoted {promoted} shape(s) during idle")
+            after = server.submit("gemm", hot).result(timeout=600)
+            print(
+                f"hot shape now served from {after.bucket.label()} "
+                f"[{after.tier}]"
+            )
+
         print("\n--- RuntimeStats ---")
         print(server.stats().table())
         if server.disk_tier is not None:
@@ -131,4 +163,10 @@ if __name__ == "__main__":
         default=None,
         help="record request spans and export a Chrome trace here",
     )
-    main(trace_path=parser.parse_args().trace)
+    parser.add_argument(
+        "--specialize",
+        action="store_true",
+        help="promote a hot off-rung shape to a tile-aligned kernel",
+    )
+    cli = parser.parse_args()
+    main(trace_path=cli.trace, specialize=cli.specialize)

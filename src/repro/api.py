@@ -392,6 +392,7 @@ def serve(
     max_batch: int = 8,
     options: Optional[CompileOptions] = None,
     speculate: Any = False,
+    specialize: Any = False,
     trace: Any = False,
     flight: Any = None,
 ) -> "RuntimeServer":
@@ -404,7 +405,11 @@ def serve(
     ``speculate=True`` (or a :class:`~repro.runtime.SpeculatorConfig`)
     starts the background :class:`~repro.runtime.Speculator`, which
     precompiles likely-next shape buckets during idle time.
-    ``trace=True`` records per-request span trees on a
+    ``specialize=True`` (or a :class:`~repro.runtime.SpecializerConfig`)
+    starts the background :class:`~repro.runtime.ShapeSpecializer`,
+    which promotes hot exact shapes to tile-aligned specialized kernels
+    served with (near-)zero padding and deoptimizes them when traffic
+    shifts. ``trace=True`` records per-request span trees on a
     :class:`~repro.obs.trace.Tracer` (export with
     ``server.export_trace(path)``); ``flight`` attaches a
     :class:`~repro.obs.flight.FlightRecorder` (or a dump path) that the
@@ -420,6 +425,7 @@ def serve(
         max_batch=max_batch,
         options=options,
         speculate=speculate,
+        specialize=specialize,
         trace=trace,
         flight=flight,
     )

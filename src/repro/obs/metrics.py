@@ -453,6 +453,31 @@ def server_metrics(
         "Speculatively precompiled buckets that later saw real traffic.",
     ).set_total(stats.speculation_hits)
 
+    reg.counter(
+        "repro_specialize_promotions_total",
+        "Shapes promoted to exact-shape specialized kernels.",
+    ).set_total(stats.promotions)
+    reg.counter(
+        "repro_specialize_deopts_total",
+        "Specializations deoptimized back to their generic bucket.",
+    ).set_total(stats.deopts)
+    reg.counter(
+        "repro_specialized_hits_total",
+        "Requests served by an exact-shape specialized kernel.",
+    ).set_total(stats.specialized_hits)
+    reg.counter(
+        "repro_specialize_errors_total",
+        "Specialized compiles that failed (shape quarantined).",
+    ).set_total(stats.specialize_errors)
+    reg.counter(
+        "repro_specialize_padded_flops_saved_total",
+        "Padded FLOPs avoided by serving specialized kernels.",
+    ).set_total(stats.padded_flops_saved)
+    reg.gauge(
+        "repro_specializations_active",
+        "Exact-shape specializations currently installed.",
+    ).set(stats.specializations_active)
+
     cache = compile_cache.stats
     reg.counter(
         "repro_compile_cache_hits_total", "In-memory compile-cache hits."

@@ -19,6 +19,10 @@ calls, this package keeps compiled kernels alive and serves them:
 * :mod:`~repro.runtime.speculate` — :class:`Speculator`: a background
   thread that precompiles likely-next shape buckets (observed traffic
   plus ladder neighbors) during idle time, making warm-up continuous.
+* :mod:`~repro.runtime.specialize` — :class:`ShapeSpecializer`: the
+  tiered promote/deoptimize loop that counts per-exact-shape traffic,
+  promotes hot shapes to tile-aligned specialized kernels served with
+  (near-)zero padding, and deoptimizes them when traffic shifts.
 
 Entry points: :class:`RuntimeServer` here, or :func:`repro.api.serve`.
 """
@@ -31,6 +35,11 @@ from repro.runtime.registry import (
     default_registry,
 )
 from repro.runtime.server import RuntimeResult, RuntimeServer
+from repro.runtime.specialize import (
+    ShapeSpecializer,
+    Specialization,
+    SpecializerConfig,
+)
 from repro.runtime.speculate import Speculator, SpeculatorConfig
 from repro.runtime.telemetry import (
     KernelServingStats,
@@ -49,6 +58,9 @@ __all__ = [
     "RuntimeResult",
     "RuntimeServer",
     "RuntimeStats",
+    "ShapeSpecializer",
+    "Specialization",
+    "SpecializerConfig",
     "Speculator",
     "SpeculatorConfig",
     "Telemetry",

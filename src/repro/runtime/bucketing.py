@@ -71,9 +71,16 @@ class BucketPolicy:
                 f"bucket floor must be >= 1, got {self.floor!r}"
             )
         for name, rungs in self.ladders.items():
-            if not rungs or list(rungs) != sorted(rungs) or rungs[0] < 1:
+            # Strictly ascending: a duplicated rung would become its
+            # own neighbor in neighbor_extents(), and the speculator
+            # would "precompile" the bucket traffic already serves.
+            if (
+                not rungs
+                or rungs[0] < 1
+                or any(b <= a for a, b in zip(rungs, rungs[1:]))
+            ):
                 raise CypressError(
-                    f"bucket ladder for {name!r} must be a non-empty "
+                    f"bucket ladder for {name!r} must be a strictly "
                     f"ascending sequence of positive extents, got {rungs!r}"
                 )
 

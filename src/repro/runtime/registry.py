@@ -16,7 +16,7 @@ paper's whole kernel zoo; servers can also register custom builders.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Optional, Tuple
+from typing import Any, Callable, Dict, Mapping, Optional, Tuple
 
 from repro.errors import CypressError
 from repro.kernels import KERNEL_BUILDERS, KernelBuild
@@ -52,6 +52,16 @@ class RegisteredKernel:
         search_space: candidates for ``RuntimeServer.warm(tune=True)``.
         tune_adapter: translates a candidate dict to builder kwargs
             (identity when ``None``).
+        specialize_align: per-dimension granule for exact-shape
+            specialization — each promoted shape is rounded up to a
+            multiple of its granule so the *default* build's partitions
+            divide evenly (dimensions not listed use granule 1).
+            ``None`` disables specialization for this kernel: the
+            :class:`~repro.runtime.specialize.ShapeSpecializer` has no
+            safe alignment to build at, so it never promotes it.
+        flops_fn: ``shape dict -> useful FLOPs`` estimator used for
+            padded-waste accounting; the product of the extents when
+            ``None`` (exact for volume-proportional kernels).
     """
 
     name: str
@@ -61,10 +71,31 @@ class RegisteredKernel:
     defaults: Dict[str, Any] = field(default_factory=dict)
     search_space: Optional[MappingSearchSpace] = None
     tune_adapter: Optional[TuneAdapter] = None
+    specialize_align: Optional[Dict[str, int]] = None
+    flops_fn: Optional[Callable[[Dict[str, int]], float]] = None
 
     def bucket(self, shape) -> Bucket:
         """Round a request shape with this kernel's policy."""
         return self.policy.bucket(shape, self.dims)
+
+    def exact_bucket(self, shape: Mapping[str, int]) -> Bucket:
+        """The *unrounded* request shape as a :class:`Bucket` (dims in
+        registration order) — the specializer's guard key."""
+        return Bucket(tuple((name, shape[name]) for name in self.dims))
+
+    def flops(self, shape: Mapping[str, int]) -> float:
+        """Estimated useful FLOPs of one request at ``shape``.
+
+        Uses the registered ``flops_fn`` when present, else the product
+        of the shape extents — a relative work proxy that is exact for
+        kernels whose FLOPs are volume-proportional (the GEMM family).
+        """
+        if self.flops_fn is not None:
+            return float(self.flops_fn(dict(shape)))
+        total = 1.0
+        for extent in shape.values():
+            total *= extent
+        return total
 
     def build(
         self,
@@ -95,6 +126,8 @@ class KernelRegistry:
         defaults: Optional[Dict[str, Any]] = None,
         search_space: Optional[MappingSearchSpace] = None,
         tune_adapter: Optional[TuneAdapter] = None,
+        specialize_align: Optional[Mapping[str, int]] = None,
+        flops: Optional[Callable[[Dict[str, int]], float]] = None,
     ) -> RegisteredKernel:
         """Register a servable kernel family.
 
@@ -106,6 +139,11 @@ class KernelRegistry:
             defaults: mapping parameters applied to every build.
             search_space: candidates for ``warm(tune=True)``.
             tune_adapter: candidate dict -> builder kwargs translator.
+            specialize_align: per-dimension alignment granule enabling
+                exact-shape specialization (``None`` opts this kernel
+                out of the specializer).
+            flops: ``shape dict -> useful FLOPs`` estimator for
+                padded-waste accounting.
 
         Returns:
             The stored :class:`RegisteredKernel`.
@@ -123,6 +161,10 @@ class KernelRegistry:
             defaults=dict(defaults or {}),
             search_space=search_space,
             tune_adapter=tune_adapter,
+            specialize_align=(
+                dict(specialize_align) if specialize_align else None
+            ),
+            flops_fn=flops,
         )
         self._kernels[name] = entry
         return entry
@@ -178,6 +220,25 @@ def _attention_space() -> MappingSearchSpace:
     )
 
 
+#: Exact-shape specialization granules: multiples of the default build
+#: tiles (gemm family tiles 256x256x64, attention q/kv tiles 128), so a
+#: promoted shape's partitions always divide evenly.
+_GEMM_ALIGN = {"m": 256, "n": 256, "k": 64}
+_ATTN_ALIGN = {"heads": 1, "seq": 128, "head_dim": 128}
+
+
+def _gemm_flops(shape: Dict[str, int]) -> float:
+    return 2.0 * shape["m"] * shape["n"] * shape["k"]
+
+
+def _batched_gemm_flops(shape: Dict[str, int]) -> float:
+    return 2.0 * shape["batch"] * shape["m"] * shape["n"] * shape["k"]
+
+
+def _attention_flops(shape: Dict[str, int]) -> float:
+    return 4.0 * shape["heads"] * shape["seq"] ** 2 * shape["head_dim"]
+
+
 def default_registry() -> KernelRegistry:
     """A registry serving the paper's whole kernel zoo."""
     registry = KernelRegistry()
@@ -193,6 +254,8 @@ def default_registry() -> KernelRegistry:
             ("m", "n", "k"),
             policy=gemm_policy,
             search_space=_gemm_space(),
+            specialize_align=_GEMM_ALIGN,
+            flops=_gemm_flops,
         )
     registry.register(
         "batched_gemm",
@@ -203,6 +266,8 @@ def default_registry() -> KernelRegistry:
                      "k": _GEMM_K}
         ),
         search_space=_gemm_space(),
+        specialize_align={"batch": 1, **_GEMM_ALIGN},
+        flops=_batched_gemm_flops,
     )
     for name in ("flash_attention2", "flash_attention3"):
         registry.register(
@@ -212,5 +277,7 @@ def default_registry() -> KernelRegistry:
             policy=attn_policy,
             search_space=_attention_space(),
             tune_adapter=attention_tune_adapter,
+            specialize_align=_ATTN_ALIGN,
+            flops=_attention_flops,
         )
     return registry

@@ -47,6 +47,7 @@ from repro.runtime.registry import (
     RegisteredKernel,
     default_registry,
 )
+from repro.runtime.specialize import ShapeSpecializer, SpecializerConfig
 from repro.runtime.speculate import Speculator, SpeculatorConfig
 from repro.runtime.telemetry import (
     TIER_COMPILE,
@@ -118,6 +119,11 @@ class _QueuedRequest:
     #: span to nest it under (the graph scheduler's node span).
     span: Any = field(compare=False, default=None)
     trace_parent: Any = field(compare=False, default=None)
+    #: Pre-rounding request shape as a Bucket (only populated when the
+    #: server has a specializer) and whether the specialization guard
+    #: hit — a hit serves ``bucket`` = the aligned specialized shape.
+    exact_bucket: Any = field(compare=False, default=None)
+    specialized: bool = field(compare=False, default=False)
 
 
 class RuntimeServer:
@@ -139,6 +145,14 @@ class RuntimeServer:
             time, so ``warm()`` becomes continuous. Pass ``True`` for
             defaults or a :class:`~repro.runtime.speculate.
             SpeculatorConfig` for custom knobs.
+        specialize: run a background :class:`~repro.runtime.specialize.
+            ShapeSpecializer` that counts per-exact-shape traffic,
+            promotes hot shapes to tile-aligned specialized kernels
+            served with (near-)zero padding, and deoptimizes them when
+            traffic shifts. Pass ``True`` for defaults or a
+            :class:`~repro.runtime.specialize.SpecializerConfig` for
+            custom knobs; ``False`` keeps the dispatch path unchanged
+            (one ``is None`` branch).
         trace: record per-request span trees (queue wait, dispatch,
             micro-batch assembly, compile with per-pass children,
             execute) on a :class:`~repro.obs.trace.Tracer`. Pass
@@ -172,6 +186,7 @@ class RuntimeServer:
         max_batch: int = 8,
         options: Optional[CompileOptions] = None,
         speculate: Union[bool, "SpeculatorConfig"] = False,
+        specialize: Union[bool, "SpecializerConfig"] = False,
         trace: Union[bool, Tracer] = False,
         flight: Union[None, str, FlightRecorder] = None,
         start: bool = True,
@@ -220,6 +235,14 @@ class RuntimeServer:
                 else None
             )
             self.speculator = Speculator(self, config)
+        self.specializer: Optional[ShapeSpecializer] = None
+        if specialize:
+            spec_config = (
+                specialize
+                if isinstance(specialize, SpecializerConfig)
+                else None
+            )
+            self.specializer = ShapeSpecializer(self, spec_config)
         if disk_cache is None:
             self.disk_tier: Optional[DiskCacheTier] = None
         elif isinstance(disk_cache, DiskCacheTier):
@@ -255,6 +278,8 @@ class RuntimeServer:
             self._threads.append(thread)
         if self.speculator is not None:
             self.speculator.start()
+        if self.specializer is not None:
+            self.specializer.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -263,14 +288,17 @@ class RuntimeServer:
         ``drain=True`` serves everything already queued first;
         ``drain=False`` cancels queued requests (their futures report
         cancellation) and *fails* any in-flight ``submit_graph``
-        futures — nothing is left pending. Stops the speculator thread
-        and detaches the disk tier it attached.
+        futures — nothing is left pending. Stops the speculator and
+        specializer threads (an in-flight promotion is abandoned
+        cleanly) and detaches the disk tier it attached.
         """
         if self._closed:
             return
         self._closed = True
         if self.speculator is not None:
             self.speculator.stop()
+        if self.specializer is not None:
+            self.specializer.stop()
         with self._cv:
             self._stopping = True
             if not drain:
@@ -345,13 +373,30 @@ class RuntimeServer:
         ``priority`` values are served first; ties are FIFO. ``inputs``
         (numpy arrays padded to the bucket shape) additionally run the
         kernel functionally and land in ``RuntimeResult.outputs``.
+
+        With a specializer attached, the request's exact shape is
+        checked against the installed specializations first: a guard
+        hit serves the tile-aligned specialized kernel (near-zero
+        padding, bit-identical outputs) instead of the generic bucket.
         """
         registered = self.registry.get(kernel)
         shape_dict = self._coerce_shape(registered, shape)
         bucket = registered.bucket(shape_dict)
+        exact = None
+        specialized = False
+        specializer = self.specializer
+        if specializer is not None:
+            exact = registered.exact_bucket(shape_dict)
+            entry = specializer.lookup(registered.name, exact)
+            if entry is not None:
+                bucket = entry.serving
+                specialized = True
+                self.telemetry.record_specialized_hit(entry.flops_saved)
         request = self.prepare_request(
             registered, shape_dict, bucket, inputs=inputs, priority=priority
         )
+        request.exact_bucket = exact
+        request.specialized = specialized
         self.submit_prepared([request])
         return request.future
 
@@ -410,6 +455,18 @@ class RuntimeServer:
                     },
                     start_s=now,
                 )
+        shapes = None
+        if self.specializer is not None:
+            # The per-exact-shape demand signal the specializer polls.
+            # Graph-prepared slots skipped submit()'s guard; derive
+            # their exact bucket here.
+            shapes = []
+            for request in requests:
+                exact = request.exact_bucket
+                if exact is None:
+                    exact = request.kernel.exact_bucket(request.shape)
+                    request.exact_bucket = exact
+                shapes.append((request.kernel.name, exact))
         pairs = []
         with self._cv:
             # Checked under the lock: a request enqueued after close()
@@ -423,7 +480,7 @@ class RuntimeServer:
                 pairs.append(request.batch_key)
             self._cv.notify(len(requests))
         self.telemetry.record_submit(len(requests))
-        self.telemetry.record_bucket_traffic(pairs)
+        self.telemetry.record_bucket_traffic(pairs, shapes)
 
     def submit_many(
         self,
@@ -609,6 +666,46 @@ class RuntimeServer:
         kernel = api.compile_kernel(build, options=self._options)
         return kernel, tier, key
 
+    def _fit_inputs(
+        self,
+        kernel: Any,
+        inputs: Dict[str, np.ndarray],
+    ) -> Dict[str, np.ndarray]:
+        """Fit functional inputs to a specialized kernel's parameters.
+
+        The serving contract has callers pad input arrays to the
+        generic bucket shape; a specialization guard hit compiles at
+        the (smaller) tile-aligned shape, so each named array is
+        cropped — or zero-padded, for callers that sent exact-shape
+        arrays below the aligned shape — to its parameter's declared
+        extents. Cropping only removes zero-padding, so specialized
+        outputs stay bit-identical to the generic kernel's outputs over
+        the same region. Arrays already matching (or of a different
+        rank, left for ``run_functional`` to diagnose) pass through.
+        """
+        declared = {
+            param.name: tuple(param.shape)
+            for param in kernel.final_ir.params
+        }
+        fitted: Dict[str, np.ndarray] = {}
+        for name, array in inputs.items():
+            target = declared.get(name)
+            if target is None or tuple(array.shape) == target \
+                    or array.ndim != len(target):
+                fitted[name] = array
+                continue
+            cropped = array[
+                tuple(slice(0, min(have, want))
+                      for have, want in zip(array.shape, target))
+            ]
+            if cropped.shape != target:
+                padded = np.zeros(target, dtype=array.dtype)
+                padded[tuple(slice(0, extent)
+                             for extent in cropped.shape)] = cropped
+                cropped = padded
+            fitted[name] = cropped
+        return fitted
+
     def _worker_loop(self) -> None:
         while True:
             with self._cv:
@@ -719,9 +816,13 @@ class RuntimeServer:
                 if request.inputs is not None:
                     from repro import api
 
-                    outputs = api.run_functional(
-                        kernel, dict(request.inputs)
-                    )
+                    arrays = dict(request.inputs)
+                    if request.specialized:
+                        # Callers pad inputs to the *generic* bucket;
+                        # the specialized kernel is smaller. Crop the
+                        # zero-padding off (bit-identical results).
+                        arrays = self._fit_inputs(kernel, arrays)
+                    outputs = api.run_functional(kernel, arrays)
                 done_at = time.perf_counter()
                 latency = done_at - request.submitted_at
                 result = RuntimeResult(

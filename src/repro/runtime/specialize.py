@@ -1,0 +1,376 @@
+"""Traffic-driven tiered shape specialization (promote / deoptimize).
+
+Bucketing rounds every request shape up to a ladder rung forever, so a
+hot exact shape pays padding waste on every single request. The
+:class:`ShapeSpecializer` closes that gap with the tiering loop of
+PyPy-style tracing JITs applied to shapes:
+
+1. **Count** — every ``submit`` records its *pre-rounding* shape in the
+   telemetry collector's per-``(kernel, exact shape)`` hit counts
+   (:meth:`~repro.runtime.telemetry.Telemetry.shape_traffic`), decayed
+   periodically so the signal tracks *current* traffic.
+2. **Promote** — shapes whose (decayed) hit count crosses
+   ``hot_threshold`` are background-compiled at a **tile-aligned
+   near-exact shape** through :func:`repro.api.compile_many` while the
+   request queue is idle; the result lands in the ordinary process-wide
+   compile cache (and the server's disk tier), exactly like the
+   speculator's kernels.
+3. **Guard** — ``submit`` checks the request's exact shape against the
+   installed specializations: a hit serves the specialized kernel with
+   (near-)zero padding, a miss falls through to the generic bucket.
+   When ``specialize=False`` the dispatch path pays one ``is None``
+   branch and nothing else.
+4. **Deoptimize** — a specialization whose shape goes cold (decayed
+   count under ``cold_threshold``) or that loses a budget fight
+   (``max_per_kernel``) is evicted and its counter reset, so it must
+   re-earn promotion; traffic instantly falls back to the generic
+   bucket, which never left the cache.
+
+Why *aligned*, not exact: the compiler cannot partition ragged extents
+symbolically — a kernel built at ``m=1000`` with ``tile_m=256`` fails
+in the pipeline. Each registered kernel therefore declares
+``specialize_align`` granules (multiples of its default build tiles);
+the specializer rounds a hot shape up to the nearest granule, which is
+far tighter than the bucket ladder (e.g. ``m=4100`` serves from
+``m=4352`` instead of ``m=8192``). Kernels without granules are never
+promoted. Specialized builds use the registered **defaults** (no
+pinned/tuned bucket parameters): tuned tiles are only known safe at
+ladder rungs, and defaults are what the alignment granules guarantee
+to divide evenly.
+
+Promotion failures are counted (``specialize_errors``), the shape is
+quarantined from re-promotion for ``quarantine_cycles`` cycles, and the
+generic bucket keeps serving — the background thread never raises.
+Effectiveness lands in :class:`~repro.runtime.telemetry.RuntimeStats`:
+``promotions``, ``deopts``, ``specialized_hits``, and
+``padded_flops_saved`` (the FLOP gap between each hit's generic bucket
+and its specialized shape).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, Optional, Set, Tuple
+
+from repro.compiler.pipeline import compile_key_for
+from repro.runtime.bucketing import Bucket
+from repro.runtime.registry import RegisteredKernel
+from repro.runtime.speculate import BackgroundLoop
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: server owns us
+    from repro.runtime.server import RuntimeServer
+
+
+@dataclass(frozen=True)
+class SpecializerConfig:
+    """Knobs of the shape-specialization tiering loop.
+
+    Attributes:
+        interval_s: poll period between specialization cycles.
+        hot_threshold: decayed per-shape hit count at which a shape is
+            promoted to an exact-shape specialization.
+        max_per_kernel: specialization budget per kernel family; a new
+            promotion beyond it must evict the coldest active one (and
+            only wins the fight when it is strictly hotter).
+        max_promotions_per_cycle: background compile budget per cycle,
+            so a burst of novel shapes cannot monopolize the process.
+        decay: factor applied to every per-shape hit count each decay
+            round (exponential forgetting of stale traffic).
+        decay_every_cycles: cycles between decay rounds.
+        cold_threshold: active specializations whose decayed count
+            falls below this are deoptimized back to the bucket.
+        quarantine_cycles: cycles a shape whose specialized compile
+            failed is barred from re-promotion (error backoff).
+        max_workers: thread-pool width for background ``compile_many``.
+    """
+
+    interval_s: float = 0.02
+    hot_threshold: int = 8
+    max_per_kernel: int = 4
+    max_promotions_per_cycle: int = 2
+    decay: float = 0.5
+    decay_every_cycles: int = 50
+    cold_threshold: float = 1.0
+    quarantine_cycles: int = 8
+    max_workers: int = 2
+
+
+@dataclass(frozen=True)
+class Specialization:
+    """One installed exact-shape specialization (a guard-table entry).
+
+    Attributes:
+        kernel: registered kernel name.
+        exact: the promoted request shape (the guard key).
+        serving: the tile-aligned shape the specialized kernel was
+            compiled at (``exact`` rounded up per ``specialize_align``).
+        generic: the bucket the shape would serve from unspecialized.
+        flops_saved: padded FLOPs one request saves by serving from
+            ``serving`` instead of ``generic``.
+    """
+
+    kernel: str
+    exact: Bucket
+    serving: Bucket
+    generic: Bucket
+    flops_saved: float
+
+
+class ShapeSpecializer(BackgroundLoop):
+    """The promote/deoptimize state machine owned by a ``RuntimeServer``.
+
+    The server constructs one when built with ``specialize=`` truthy,
+    starts it alongside the worker pool, and stops it on ``close()``
+    (an in-flight promotion is abandoned: the compiled kernel stays in
+    the cache, but no guard is installed). Tests and benchmarks drive
+    it synchronously with :meth:`run_once` for determinism.
+    """
+
+    thread_name = "repro-specializer"
+
+    def __init__(
+        self,
+        server: "RuntimeServer",
+        config: Optional[SpecializerConfig] = None,
+    ) -> None:
+        self.config = config or SpecializerConfig()
+        super().__init__(server, self.config.interval_s)
+        #: (kernel, exact Bucket) -> installed Specialization. Read
+        #: lock-free on the dispatch hot path (atomic dict get);
+        #: mutated only by the specializer cycle under ``_lock``.
+        self._active: Dict[Tuple[str, Bucket], Specialization] = {}
+        #: Shapes barred from re-promotion until the stored cycle.
+        self._quarantine: Dict[Tuple[str, Bucket], int] = {}
+        #: Shapes promotion can never help (already on a rung, or the
+        #: aligned shape saves nothing) — checked before compiling.
+        self._skip: Set[Tuple[str, Bucket]] = set()
+        self._cycle = 0
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # The dispatch guard
+    # ------------------------------------------------------------------
+    def lookup(self, kernel: str, exact: Bucket) -> Optional[Specialization]:
+        """The guard check ``submit`` runs: the installed specialization
+        covering this exact request shape, or ``None`` to fall through
+        to the generic bucket. One dict probe; safe without a lock."""
+        return self._active.get((kernel, exact))
+
+    @property
+    def active(self) -> Dict[Tuple[str, Bucket], Specialization]:
+        """A snapshot of the installed specializations (for tests and
+        dashboards; the guard itself uses the live table)."""
+        with self._lock:
+            return dict(self._active)
+
+    # ------------------------------------------------------------------
+    # One specialization cycle
+    # ------------------------------------------------------------------
+    def run_once(self) -> int:
+        """Run one promote/deoptimize cycle synchronously.
+
+        Decays the per-shape traffic on its schedule, deoptimizes
+        active specializations that went cold, then promotes the
+        hottest unpromoted shapes (up to ``max_promotions_per_cycle``),
+        yielding early when real traffic arrives or the server starts
+        shutting down. Exceptions are counted in ``errors`` and never
+        propagate — the loop is driven identically by the background
+        thread and by tests.
+
+        Returns:
+            The number of shapes promoted this cycle.
+        """
+        try:
+            return self._run_cycle()
+        except Exception:
+            self.errors += 1
+            return 0
+
+    def _run_cycle(self) -> int:
+        """One cycle's actual work (see :meth:`run_once`)."""
+        server = self.server
+        config = self.config
+        with self._lock:
+            self._cycle += 1
+            cycle = self._cycle
+        if cycle % config.decay_every_cycles == 0:
+            server.telemetry.decay_shape_traffic(config.decay)
+        traffic = server.telemetry.shape_traffic()
+        for key, spec in list(self._active.items()):
+            if traffic.get(key, 0.0) < config.cold_threshold:
+                self._deopt(key, spec, reason="cold")
+        promoted = 0
+        hottest = sorted(traffic.items(), key=lambda kv: (-kv[1], kv[0][0]))
+        for (name, exact), count in hottest:
+            if promoted >= config.max_promotions_per_cycle:
+                break
+            if count < config.hot_threshold:
+                break  # sorted hottest-first: everything below is colder
+            key = (name, exact)
+            if key in self._active or key in self._skip:
+                continue
+            barred_until = self._quarantine.get(key)
+            if barred_until is not None:
+                if cycle < barred_until:
+                    continue
+                del self._quarantine[key]
+            if name not in server.registry:
+                continue
+            registered = server.registry.get(name)
+            if registered.specialize_align is None:
+                continue
+            if self._stop.is_set() or server.queue_depth > 0:
+                return promoted
+            promoted += self._promote(registered, exact, count, traffic)
+        return promoted
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _aligned_bucket(
+        self, registered: RegisteredKernel, exact: Bucket
+    ) -> Bucket:
+        """Round each extent of ``exact`` up to its ``specialize_align``
+        granule (granule 1 for unlisted dimensions) — the tightest
+        shape the default build's partitions divide evenly."""
+        align = registered.specialize_align or {}
+        dims = []
+        for name, extent in exact.dims:
+            granule = align.get(name, 1)
+            dims.append((name, -(-extent // granule) * granule))
+        return Bucket(tuple(dims))
+
+    def _promote(
+        self,
+        registered: RegisteredKernel,
+        exact: Bucket,
+        count: float,
+        traffic: Dict[tuple, float],
+    ) -> int:
+        """Try to install one specialization; returns 1 on success.
+
+        Skips shapes the aligned build cannot beat, fights the
+        per-kernel budget (evicting the coldest active specialization
+        only when this shape is strictly hotter), background-compiles
+        the aligned kernel, quarantines the shape on compile failure,
+        and abandons the install when the server began shutting down
+        mid-compile.
+        """
+        from repro import api
+
+        server = self.server
+        config = self.config
+        key = (registered.name, exact)
+        generic = registered.bucket(exact.as_dict())
+        serving = self._aligned_bucket(registered, exact)
+        flops_saved = registered.flops(generic.as_dict()) - registered.flops(
+            serving.as_dict()
+        )
+        if serving == generic or flops_saved <= 0:
+            self._skip.add(key)
+            return 0
+        mine = [k for k in self._active if k[0] == registered.name]
+        if len(mine) >= config.max_per_kernel:
+            coldest = min(mine, key=lambda k: traffic.get(k, 0.0))
+            if traffic.get(coldest, 0.0) >= count:
+                return 0  # not hotter than anything installed
+            self._deopt(coldest, self._active[coldest], reason="budget")
+        tracer = server.tracer
+        started = time.perf_counter() if tracer.enabled else 0.0
+        # Defaults only — tuned tiles pinned for ladder rungs are not
+        # guaranteed to divide an aligned shape; the granules are.
+        failure = None
+        build = compiled = None
+        try:
+            build = registered.build(server.machine, serving, params=None)
+        except Exception as error:
+            failure = error
+        if failure is None:
+            compiled = api.compile_many(
+                [build],
+                options=server._options,
+                executor="thread",
+                max_workers=config.max_workers,
+                raise_on_error=False,
+            )[0]
+            if isinstance(compiled, api.CompileFailure):
+                failure = compiled.error
+        if failure is not None:
+            with self._lock:
+                self._quarantine[key] = self._cycle + config.quarantine_cycles
+            server.telemetry.record_specialize_error()
+            if tracer.enabled:
+                tracer.record(
+                    "specialize.promote", "specialize",
+                    started, time.perf_counter(),
+                    args={
+                        "kernel": registered.name,
+                        "shape": exact.label(),
+                        "error": repr(failure),
+                    },
+                )
+            return 0
+        cache_key = compile_key_for(build, server._options)
+        if server.disk_tier is not None and not server.disk_tier.contains(
+            cache_key
+        ):
+            # Memory hits skip write-through; persist explicitly so a
+            # restarted server's promotions warm from disk.
+            server.disk_tier.store(cache_key, compiled)
+        if self._stop.is_set():
+            # close() raced the compile: abandon the install cleanly —
+            # the kernel stays cached, but no guard goes live.
+            return 0
+        entry = Specialization(
+            kernel=registered.name,
+            exact=exact,
+            serving=serving,
+            generic=generic,
+            flops_saved=flops_saved,
+        )
+        with self._lock:
+            self._active[key] = entry
+        server.telemetry.record_promotion()
+        if tracer.enabled:
+            tracer.record(
+                "specialize.promote", "specialize",
+                started, time.perf_counter(),
+                args={
+                    "kernel": registered.name,
+                    "shape": exact.label(),
+                    "serving": serving.label(),
+                    "flops_saved": flops_saved,
+                },
+            )
+        return 1
+
+    def _deopt(
+        self,
+        key: Tuple[str, Bucket],
+        spec: Specialization,
+        reason: str,
+    ) -> None:
+        """Evict one specialization and reset its traffic counter.
+
+        The compiled kernel stays in the cache (an in-flight request
+        that already passed the guard still serves correctly); the
+        counter reset means the shape must re-earn promotion, which
+        stops budget-fight thrash.
+        """
+        with self._lock:
+            self._active.pop(key, None)
+        self.server.telemetry.drop_shape_traffic(key)
+        self.server.telemetry.record_deopt()
+        tracer = self.server.tracer
+        if tracer.enabled:
+            now = time.perf_counter()
+            tracer.record(
+                "specialize.deopt", "specialize", now, now,
+                args={
+                    "kernel": spec.kernel,
+                    "shape": spec.exact.label(),
+                    "reason": reason,
+                },
+            )

@@ -50,6 +50,67 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle: server owns us
     from repro.runtime.server import RuntimeServer
 
 
+class BackgroundLoop:
+    """Shared machinery for the server's background threads.
+
+    Both the :class:`Speculator` and the :class:`~repro.runtime.
+    specialize.ShapeSpecializer` are daemon threads that wake every
+    ``interval_s``, run one cycle of background work **only while the
+    request queue is idle** (real traffic always wins the process), and
+    must never take serving down — a cycle that raises is dropped,
+    counted in ``errors``, and the next cycle retries. Subclasses
+    implement :meth:`run_once`; tests drive it synchronously for
+    determinism instead of waiting on the thread.
+    """
+
+    #: Thread name; subclasses override.
+    thread_name = "repro-background"
+
+    def __init__(self, server: "RuntimeServer", interval_s: float) -> None:
+        self.server = server
+        self.interval_s = interval_s
+        self.errors = 0
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        """Spawn the background thread (idempotent)."""
+        if self._thread is not None or self._stop.is_set():
+            return
+        self._thread = threading.Thread(
+            target=self._run, name=self.thread_name, daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        """Signal the thread to exit and join it (idempotent)."""
+        self._stop.set()
+        thread = self._thread
+        if thread is not None:
+            thread.join()
+            self._thread = None
+
+    @property
+    def running(self) -> bool:
+        """Whether the background thread is alive."""
+        thread = self._thread
+        return thread is not None and thread.is_alive()
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            try:
+                if self.server.queue_depth == 0:
+                    self.run_once()
+            except Exception:
+                # Background work must never take serving down; a cycle
+                # that blows up is dropped and the next one retries.
+                self.errors += 1
+
+    def run_once(self) -> int:
+        """One cycle of background work; returns work items done."""
+        raise NotImplementedError
+
+
 @dataclass(frozen=True)
 class SpeculatorConfig:
     """Knobs of the background speculator.
@@ -77,7 +138,7 @@ class SpeculatorConfig:
     max_workers: int = 2
 
 
-class Speculator:
+class Speculator(BackgroundLoop):
     """The background compile thread owned by a ``RuntimeServer``.
 
     The server constructs one when built with ``speculate=`` truthy,
@@ -87,16 +148,15 @@ class Speculator:
     thread.
     """
 
+    thread_name = "repro-speculator"
+
     def __init__(
         self,
         server: "RuntimeServer",
         config: Optional[SpeculatorConfig] = None,
     ) -> None:
-        self.server = server
         self.config = config or SpeculatorConfig()
-        self.errors = 0
-        self._stop = threading.Event()
-        self._thread: Optional[threading.Thread] = None
+        super().__init__(server, self.config.interval_s)
         # Compile keys already attempted (success or failure): a
         # mapping the compiler rejects must not be retried every cycle.
         self._attempted: Set[str] = set()
@@ -104,42 +164,6 @@ class Speculator:
         # it yet" (so each bucket counts at most one speculation hit).
         self._precompiled: Dict[Tuple[str, Bucket], bool] = {}
         self._lock = threading.Lock()
-
-    # ------------------------------------------------------------------
-    # Lifecycle
-    # ------------------------------------------------------------------
-    def start(self) -> None:
-        """Spawn the background thread (idempotent)."""
-        if self._thread is not None or self._stop.is_set():
-            return
-        self._thread = threading.Thread(
-            target=self._run, name="repro-speculator", daemon=True
-        )
-        self._thread.start()
-
-    def stop(self) -> None:
-        """Signal the thread to exit and join it (idempotent)."""
-        self._stop.set()
-        thread = self._thread
-        if thread is not None:
-            thread.join()
-            self._thread = None
-
-    @property
-    def running(self) -> bool:
-        """Whether the background thread is alive."""
-        thread = self._thread
-        return thread is not None and thread.is_alive()
-
-    def _run(self) -> None:
-        while not self._stop.wait(self.config.interval_s):
-            try:
-                if self.server.queue_depth == 0:
-                    self.run_once()
-            except Exception:
-                # Speculation must never take serving down; a cycle
-                # that blows up is dropped and the next one retries.
-                self.errors += 1
 
     # ------------------------------------------------------------------
     # One speculation cycle
@@ -174,6 +198,11 @@ class Speculator:
             if name not in server.registry:
                 continue
             registered = server.registry.get(name)
+            # Specialized exact-shape traffic lands off the ladder;
+            # speculate around its generic bucket, not the raw shape.
+            rounded = registered.bucket(bucket.as_dict())
+            if rounded != bucket:
+                bucket = rounded
             candidates: List[Bucket] = [bucket]
             if self.config.neighbors:
                 candidates.extend(registered.policy.neighbors(bucket))

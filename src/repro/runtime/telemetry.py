@@ -87,6 +87,11 @@ class RuntimeStats:
     speculative_compiles: int = 0
     speculation_issued: int = 0
     speculation_hits: int = 0
+    specialized_hits: int = 0
+    promotions: int = 0
+    deopts: int = 0
+    specialize_errors: int = 0
+    padded_flops_saved: float = 0.0
     trace_enabled: bool = False
     trace_spans: int = 0
     flight_records: int = 0
@@ -102,6 +107,12 @@ class RuntimeStats:
         if not self.speculation_issued:
             return 0.0
         return self.speculation_wasted / self.speculation_issued
+
+    @property
+    def specializations_active(self) -> int:
+        """Exact-shape specializations currently installed (promotions
+        minus deoptimizations)."""
+        return max(self.promotions - self.deopts, 0)
 
     @property
     def throughput_rps(self) -> float:
@@ -160,6 +171,14 @@ class RuntimeStats:
                 "wasted": self.speculation_wasted,
                 "wasted_ratio": self.speculation_wasted_ratio,
             },
+            "specialization": {
+                "hits": self.specialized_hits,
+                "promotions": self.promotions,
+                "deopts": self.deopts,
+                "errors": self.specialize_errors,
+                "active": self.specializations_active,
+                "padded_flops_saved": self.padded_flops_saved,
+            },
             "obs": {
                 "trace_enabled": self.trace_enabled,
                 "trace_spans": self.trace_spans,
@@ -206,6 +225,14 @@ class RuntimeStats:
                 f"{self.speculation_hits} hit, "
                 f"{self.speculation_wasted} wasted "
                 f"({fmt_percent(self.speculation_wasted_ratio)})"
+            )
+        if self.promotions or self.specialized_hits or self.specialize_errors:
+            lines.append(
+                f"specialz.: {self.specializations_active} active "
+                f"({self.promotions} promoted, {self.deopts} deopted, "
+                f"{self.specialize_errors} errors), "
+                f"{self.specialized_hits} exact-shape hits, "
+                f"{self.padded_flops_saved / 1e9:.2f} padded GFLOPs saved"
             )
         if self.graphs:
             lines.append(
@@ -266,31 +293,79 @@ class Telemetry:
         self._graph_nodes = 0
         self._graph_makespans: deque = deque(maxlen=window)
         self._bucket_traffic: Dict[tuple, int] = {}
+        self._shape_traffic: Dict[tuple, float] = {}
         self._spec_compiles = 0
         self._spec_issued = 0
         self._spec_hits = 0
+        self._specialized_hits = 0
+        self._promotions = 0
+        self._deopts = 0
+        self._specialize_errors = 0
+        self._padded_flops_saved = 0.0
 
     def record_submit(self, count: int = 1) -> None:
         """Count ``count`` requests entering the queue."""
         with self._lock:
             self._submitted += count
 
-    def record_bucket_traffic(self, pairs: Sequence[tuple]) -> None:
+    def record_bucket_traffic(
+        self,
+        pairs: Sequence[tuple],
+        shapes: Optional[Sequence[tuple]] = None,
+    ) -> None:
         """Count one request per ``(kernel, bucket)`` pair in ``pairs``.
 
         This is the per-bucket demand signal the speculator polls via
         :meth:`bucket_traffic` to decide which neighbor buckets are
-        worth precompiling.
+        worth precompiling. ``shapes`` optionally carries the matching
+        *pre-rounding* ``(kernel, exact shape)`` pairs — the per-shape
+        hit counts the :class:`~repro.runtime.specialize.
+        ShapeSpecializer` polls via :meth:`shape_traffic` to decide
+        which exact shapes are hot enough to promote.
         """
         with self._lock:
             traffic = self._bucket_traffic
             for pair in pairs:
                 traffic[pair] = traffic.get(pair, 0) + 1
+            if shapes:
+                hits = self._shape_traffic
+                for pair in shapes:
+                    hits[pair] = hits.get(pair, 0.0) + 1.0
 
     def bucket_traffic(self) -> Dict[tuple, int]:
         """A snapshot of request counts per ``(kernel, bucket)``."""
         with self._lock:
             return dict(self._bucket_traffic)
+
+    def shape_traffic(self) -> Dict[tuple, float]:
+        """A snapshot of (decayed) request counts per ``(kernel,
+        exact shape)`` — the specializer's promotion signal."""
+        with self._lock:
+            return dict(self._shape_traffic)
+
+    def decay_shape_traffic(
+        self, factor: float, drop_below: float = 0.5
+    ) -> None:
+        """Multiply every per-shape hit count by ``factor`` (0..1),
+        dropping entries that decay below ``drop_below``.
+
+        Periodic decay is what lets the specializer react to traffic
+        *shifts*: a shape that stops being requested loses its count
+        exponentially and falls under the deoptimization threshold
+        instead of staying hot forever.
+        """
+        with self._lock:
+            self._shape_traffic = {
+                key: count * factor
+                for key, count in self._shape_traffic.items()
+                if count * factor >= drop_below
+            }
+
+    def drop_shape_traffic(self, key: tuple) -> None:
+        """Forget one shape's hit count (deoptimization resets it so
+        the shape must re-earn promotion)."""
+        with self._lock:
+            self._shape_traffic.pop(key, None)
 
     def record_speculation(self, compiles: int, buckets: int = 0) -> None:
         """Record speculative work: ``compiles`` kernels built in the
@@ -304,6 +379,28 @@ class Telemetry:
         first real request (at most once per bucket)."""
         with self._lock:
             self._spec_hits += 1
+
+    def record_specialized_hit(self, flops_saved: float = 0.0) -> None:
+        """Count one request served by an exact-shape specialized
+        kernel, saving ``flops_saved`` padded FLOPs of bucket waste."""
+        with self._lock:
+            self._specialized_hits += 1
+            self._padded_flops_saved += flops_saved
+
+    def record_promotion(self) -> None:
+        """Count one shape promoted to an exact-shape specialization."""
+        with self._lock:
+            self._promotions += 1
+
+    def record_deopt(self) -> None:
+        """Count one specialization deoptimized back to its bucket."""
+        with self._lock:
+            self._deopts += 1
+
+    def record_specialize_error(self) -> None:
+        """Count one failed specialized compile (shape quarantined)."""
+        with self._lock:
+            self._specialize_errors += 1
 
     def record_batch(self, size: int) -> None:
         """Count one micro-batch of ``size`` requests."""
@@ -414,6 +511,11 @@ class Telemetry:
                 speculative_compiles=self._spec_compiles,
                 speculation_issued=self._spec_issued,
                 speculation_hits=self._spec_hits,
+                specialized_hits=self._specialized_hits,
+                promotions=self._promotions,
+                deopts=self._deopts,
+                specialize_errors=self._specialize_errors,
+                padded_flops_saved=self._padded_flops_saved,
                 trace_enabled=trace_enabled,
                 trace_spans=trace_spans,
                 flight_records=flight_records,

@@ -4,7 +4,8 @@ The ``docs-check`` CI job runs exactly this module. It enforces two
 invariants so documentation cannot silently regress:
 
 1. every public symbol of ``repro.api``, ``repro.tuner``,
-   ``repro.runtime``, ``repro.runtime.speculate``, ``repro.graph``,
+   ``repro.runtime``, ``repro.runtime.speculate``,
+   ``repro.runtime.specialize``, ``repro.graph``,
    ``repro.graph.template``, ``repro.obs``, and
    ``repro.tensors.regions`` (and their public methods) carries a
    non-empty docstring;
@@ -23,6 +24,7 @@ import repro.graph
 import repro.graph.template
 import repro.obs
 import repro.runtime
+import repro.runtime.specialize
 import repro.runtime.speculate
 import repro.tensors.regions
 import repro.tuner
@@ -33,6 +35,7 @@ PUBLIC_MODULES = (
     repro.api,
     repro.tuner,
     repro.runtime,
+    repro.runtime.specialize,
     repro.runtime.speculate,
     repro.graph,
     repro.graph.template,
@@ -116,7 +119,7 @@ class TestMarkdownLinks:
     def test_docs_tree_exists(self):
         for guide in (
             "architecture.md", "tuning.md", "serving.md", "graphs.md",
-            "observability.md",
+            "observability.md", "specialization.md",
         ):
             assert (REPO_ROOT / "docs" / guide).exists(), guide
 

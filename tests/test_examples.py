@@ -84,6 +84,18 @@ def test_serving_trace_flag_runs_tiny(capsys, tmp_path):
     assert any(event["name"] == "execute" for event in events)
 
 
+def test_serving_specialize_flag_runs_tiny(capsys):
+    example = _load_example("serving")
+    example.main(requests=10, tune=False, specialize=True)
+    out = capsys.readouterr().out
+    assert "specializer promoted 1 shape(s)" in out
+    # The hot m=1100 shape moves off its padded m=2048 generic bucket
+    # onto the tile-aligned m=1280 kernel, served from memory.
+    assert "served from generic bucket m2048xn256xk128" in out
+    assert "now served from m1280xn256xk128 [memory]" in out
+    assert "specialz.:" in out  # the stats table's specialization line
+
+
 def test_every_example_documents_its_output():
     for path in sorted(EXAMPLES_DIR.glob("*.py")):
         source = path.read_text()

@@ -599,7 +599,7 @@ class TestStatsJson:
         assert payload["schema_version"] == STATS_SCHEMA_VERSION
         assert set(payload) == {
             "schema_version", "runtime", "latency", "tiers",
-            "graphs", "speculation", "obs", "kernels",
+            "graphs", "speculation", "specialization", "obs", "kernels",
         }
         assert payload["runtime"]["requests"] == stats.requests
         assert payload["runtime"]["completed"] == 2

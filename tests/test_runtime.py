@@ -11,6 +11,7 @@ import threading
 
 import numpy as np
 import pytest
+from hypothesis import given, settings, strategies as st
 
 from repro import api
 from repro.compiler import pass_execution_count
@@ -104,6 +105,82 @@ class TestBucketPolicy:
         # floor=0 would make the pow2 fallback loop forever.
         with pytest.raises(CypressError, match="floor"):
             BucketPolicy(ladders={}, floor=0)
+
+    def test_duplicate_ladder_rung_rejected(self):
+        # A duplicated rung would be its own neighbor: (128, 128) made
+        # neighbor_extents("m", 128) return (128,) before validation
+        # required strictly ascending rungs.
+        with pytest.raises(CypressError, match="strictly"):
+            BucketPolicy(ladders={"m": (128, 128)})
+
+
+_ladders = st.lists(
+    st.integers(1, 2048), min_size=1, max_size=5, unique=True
+).map(lambda rungs: tuple(sorted(rungs)))
+_extents = st.integers(1, 1 << 20)
+_floors = st.integers(1, 256)
+
+
+class TestBucketPolicyProperties:
+    """Hypothesis properties of the rounding / neighbor algebra.
+
+    ``round_dim`` must be a monotone idempotent covering (a closure
+    operator) on every dimension — laddered, beyond-top, and pow2
+    fallback alike — or requests near rung boundaries would flap
+    between buckets. The neighbor relation must be irreflexive (the
+    speculator never "precompiles" the bucket traffic already serves)
+    and symmetric over bucketed extents (walking one rung up then one
+    rung down always returns home).
+    """
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rungs=st.one_of(st.none(), _ladders),
+        floor=_floors,
+        a=_extents,
+        b=_extents,
+    )
+    def test_round_dim_monotone(self, rungs, floor, a, b):
+        policy = BucketPolicy(
+            ladders={"m": rungs} if rungs else {}, floor=floor
+        )
+        lo, hi = sorted((a, b))
+        assert policy.round_dim("m", lo) <= policy.round_dim("m", hi)
+
+    @settings(max_examples=200, deadline=None)
+    @given(
+        rungs=st.one_of(st.none(), _ladders),
+        floor=_floors,
+        value=_extents,
+    )
+    def test_round_dim_idempotent_and_covering(self, rungs, floor, value):
+        policy = BucketPolicy(
+            ladders={"m": rungs} if rungs else {}, floor=floor
+        )
+        rounded = policy.round_dim("m", value)
+        assert rounded >= value
+        assert policy.round_dim("m", rounded) == rounded
+
+    @settings(max_examples=100, deadline=None)
+    @given(rungs=_ladders, floor=_floors, m=_extents, k=_extents)
+    def test_neighbors_never_contain_input(self, rungs, floor, m, k):
+        policy = BucketPolicy(ladders={"m": rungs}, floor=floor)
+        bucket = policy.bucket({"m": m, "k": k}, ("m", "k"))
+        assert bucket not in policy.neighbors(bucket)
+
+    @settings(max_examples=100, deadline=None)
+    @given(rungs=_ladders, floor=_floors, value=_extents)
+    def test_neighbor_relation_symmetric_on_bucketed_extents(
+        self, rungs, floor, value
+    ):
+        policy = BucketPolicy(ladders={"m": rungs}, floor=floor)
+        for name in ("m", "k"):  # laddered and pow2-fallback dims
+            extent = policy.round_dim(name, value)
+            for neighbor in policy.neighbor_extents(name, extent):
+                # Every neighbor is itself a valid bucketed extent...
+                assert policy.round_dim(name, neighbor) == neighbor
+                # ...and sees the original extent as its neighbor.
+                assert extent in policy.neighbor_extents(name, neighbor)
 
 
 class TestRegistry:
