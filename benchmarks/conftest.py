@@ -34,6 +34,7 @@ _recorded_series = {}
 #: only these must not rewrite BENCH_pipeline.json (it would clobber
 #: the pipeline trajectory with an unrelated session's cache counters).
 _SELF_CONTAINED = {
+    "bench_chaos",
     "bench_compile",
     "bench_costmodel",
     "bench_runtime_serving",

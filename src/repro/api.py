@@ -395,6 +395,7 @@ def serve(
     specialize: Any = False,
     trace: Any = False,
     flight: Any = None,
+    resilience: Any = None,
 ) -> "RuntimeServer":
     """Start a :class:`~repro.runtime.RuntimeServer` on ``machine``.
 
@@ -413,7 +414,12 @@ def serve(
     :class:`~repro.obs.trace.Tracer` (export with
     ``server.export_trace(path)``); ``flight`` attaches a
     :class:`~repro.obs.flight.FlightRecorder` (or a dump path) that the
-    server writes on close and on worker crashes.
+    server writes on close and on worker crashes. ``resilience``
+    (a :class:`~repro.runtime.ResilienceConfig`) tunes per-request
+    deadlines' enforcement companions — bounded-queue load shedding,
+    seeded retry backoff, and circuit-breaker thresholds; the default
+    arms retries and breakers conservatively while keeping the queue
+    unbounded. See ``docs/resilience.md``.
     """
     from repro.runtime import RuntimeServer
 
@@ -428,4 +434,5 @@ def serve(
         specialize=specialize,
         trace=trace,
         flight=flight,
+        resilience=resilience,
     )

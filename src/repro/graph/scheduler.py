@@ -18,6 +18,12 @@ producer outputs into consumer inputs across the worker pool. This
 requires every node's shape to equal its serving bucket (padding a
 *dependent* launch is not semantics-preserving in general); timing-only
 graphs have no such restriction.
+
+Failure is **partial**: a node that fails at execution takes down only
+its dependent cone (transitive successors are marked skipped — they
+could never run), while independent subgraphs complete normally;
+:class:`GraphResult` reports the per-node outcomes. Only a graph in
+which no node succeeded fails its future outright.
 """
 
 from __future__ import annotations
@@ -102,20 +108,46 @@ def materialize_root_arrays(
 class GraphResult:
     """What a resolved graph future carries.
 
+    A graph completes even when some nodes fail: a node-execution
+    failure takes down only its **dependent cone** (the transitive
+    successors, which could never run), while independent subgraphs
+    keep executing to completion. ``failed`` and ``skipped`` report
+    that partial outcome per node; a graph in which *no* node succeeded
+    fails its future outright instead.
+
     Attributes:
         graph: the executed graph.
         results: node uid -> the node's :class:`~repro.runtime.server.
-            RuntimeResult`.
+            RuntimeResult` (succeeded nodes only).
         makespan_s: wall time from ``submit_graph`` to the last node
-            resolving.
+            settling.
         outputs: final root arrays (name -> array) when the graph
-            carried data; ``None`` for timing-only execution.
+            carried data; ``None`` for timing-only execution. With
+            failed nodes, arrays their cone never wrote hold the last
+            successfully written values (zeros for untouched roots).
+        failed: node uid -> the exception that failed it.
+        skipped: node uid -> the failed ancestor uid whose cone
+            swallowed it (never submitted).
     """
 
     graph: TaskGraph
     results: Dict[int, "RuntimeResult"]
     makespan_s: float
     outputs: Optional[Dict[str, np.ndarray]] = None
+    failed: Dict[int, BaseException] = field(default_factory=dict)
+    skipped: Dict[int, int] = field(default_factory=dict)
+
+    @property
+    def complete(self) -> bool:
+        """Whether every node succeeded."""
+        return not self.failed and not self.skipped
+
+    def outcomes(self) -> Dict[int, str]:
+        """Per-node outcome: ``"ok"``, ``"failed"``, or ``"skipped"``."""
+        report = {uid: "ok" for uid in self.results}
+        report.update({uid: "failed" for uid in self.failed})
+        report.update({uid: "skipped" for uid in self.skipped})
+        return report
 
     @property
     def total_sim_s(self) -> float:
@@ -189,8 +221,12 @@ class GraphScheduler:
                 critical-path rank on top.
 
         Returns:
-            The execution handle; its ``future`` resolves to a
-            :class:`GraphResult` (or the first node failure).
+            The execution handle. Its ``future`` resolves to a
+            :class:`GraphResult` even when nodes fail — a failed node
+            skips only its dependent cone (see
+            :attr:`GraphResult.failed` / :attr:`GraphResult.skipped`) —
+            and raises only when no node succeeded, when a kernel
+            lookup failed, or when the server shut down mid-graph.
 
         Raises:
             CypressError: empty graph, or ``inputs`` given while some
@@ -341,7 +377,7 @@ class GraphScheduler:
             return
         error = future.exception()
         if error is not None:
-            self._fail(state, error)
+            self._on_node_failed(state, node, error)
             return
         result = future.result()
         newly_ready: List[GraphNode] = []
@@ -355,21 +391,61 @@ class GraphScheduler:
                     if ref is not None:
                         ref.write(state.arrays[ref.root.uid], value)
             for succ in state.graph.successors(node.uid):
+                if succ in state.skipped:
+                    continue
                 state.remaining[succ] -= 1
                 if state.remaining[succ] == 0:
                     newly_ready.append(state.graph.node(succ))
-            done = len(state.results) == len(state.graph)
+            done = state.settled() == len(state.graph)
         if newly_ready:
             self._submit_ready(state, newly_ready)
         if done:
             self._finish(state)
 
+    def _on_node_failed(
+        self,
+        state: "_ExecutionState",
+        node: GraphNode,
+        error: BaseException,
+    ) -> None:
+        """Partial-failure semantics: a failed node takes down only its
+        dependent cone; independent subgraphs keep executing.
+
+        The cone (every transitive successor) is marked skipped — those
+        nodes' predecessor counts can never reach zero, so without this
+        the graph would hang instead of completing. Cone nodes were
+        never submitted, so there is nothing in flight to cancel.
+        """
+        done = False
+        with state.lock:
+            if state.failed:
+                return
+            state.node_errors[node.uid] = error
+            stack = list(state.graph.successors(node.uid))
+            while stack:
+                uid = stack.pop()
+                if uid in state.skipped:
+                    continue
+                state.skipped[uid] = node.uid
+                stack.extend(state.graph.successors(uid))
+            done = state.settled() == len(state.graph)
+        if done:
+            self._finish(state)
+
     def _finish(self, state: "_ExecutionState") -> None:
+        if state.node_errors and not state.results:
+            # Nothing succeeded: a partial result would carry no data,
+            # so surface the first failure directly (matching the
+            # historical whole-graph failure contract).
+            self._fail(state, next(iter(state.node_errors.values())))
+            return
         makespan = time.perf_counter() - state.started
         if state.span is not None:
-            self.server.tracer.end(
-                state.span, args={"makespan_s": makespan}
-            )
+            span_args: Dict[str, Any] = {"makespan_s": makespan}
+            if state.node_errors:
+                span_args["failed"] = len(state.node_errors)
+                span_args["skipped"] = len(state.skipped)
+            self.server.tracer.end(state.span, args=span_args)
         outputs = None
         if state.arrays is not None:
             outputs = {
@@ -385,6 +461,8 @@ class GraphScheduler:
                 results=state.results,
                 makespan_s=makespan,
                 outputs=outputs,
+                failed=state.node_errors,
+                skipped=state.skipped,
             )
         )
 
@@ -419,10 +497,20 @@ class _ExecutionState:
     failed: bool = False
     results: Dict[int, Any] = field(default_factory=dict)
     remaining: Dict[int, int] = field(default_factory=dict)
+    #: Per-node execution failures and the cone they swallowed
+    #: (skipped uid -> failed ancestor uid).
+    node_errors: Dict[int, BaseException] = field(default_factory=dict)
+    skipped: Dict[int, int] = field(default_factory=dict)
     #: Graph-level span and the open per-node spans (uid -> span),
     #: both ``None``/empty when the server's tracing is off.
     span: Any = None
     node_spans: Dict[int, Any] = field(default_factory=dict)
+
+    def settled(self) -> int:
+        """Nodes with a final outcome (ok, failed, or skipped); the
+        graph completes when this reaches ``len(graph)``. Caller holds
+        ``lock``."""
+        return len(self.results) + len(self.node_errors) + len(self.skipped)
 
     def __post_init__(self) -> None:
         self.remaining = {

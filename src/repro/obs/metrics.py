@@ -478,6 +478,39 @@ def server_metrics(
         "Exact-shape specializations currently installed.",
     ).set(stats.specializations_active)
 
+    reg.counter(
+        "repro_timeouts_total",
+        "Requests failed fast for missing their deadline.",
+    ).set_total(stats.timeouts)
+    reg.counter(
+        "repro_retries_total",
+        "Transient failures absorbed by the retry machinery.",
+    ).set_total(stats.retries)
+    reg.counter(
+        "repro_shed_requests_total",
+        "Queued requests evicted by bounded-queue load shedding.",
+    ).set_total(stats.shed_requests)
+    reg.counter(
+        "repro_loop_crashes_total",
+        "Background-loop crashes caught and restarted by supervision.",
+    ).set_total(stats.loop_crashes)
+    reg.counter(
+        "repro_degraded_serves_total",
+        "Requests served in a degraded mode (breaker open).",
+    ).set_total(stats.degraded_serves)
+    reg.counter(
+        "repro_breaker_trips_total",
+        "Circuit-breaker transitions to open.",
+    ).set_total(stats.breaker_trips)
+    breaker_state = reg.gauge(
+        "repro_breaker_state",
+        "Per-site breaker state: 0 closed, 1 half-open, 2 open.",
+        labels=("site",),
+    )
+    state_codes = {"closed": 0, "half-open": 1, "open": 2}
+    for site, state in stats.breaker_states.items():
+        breaker_state.set(state_codes.get(state, 2), site)
+
     cache = compile_cache.stats
     reg.counter(
         "repro_compile_cache_hits_total", "In-memory compile-cache hits."
@@ -515,6 +548,11 @@ def server_metrics(
             "repro_disk_cache_pruned_bytes_total",
             "Bytes evicted by the disk tier's LRU budget.",
         ).set_total(disk.pruned_bytes)
+        reg.gauge(
+            "repro_disk_cache_quarantined",
+            "Corrupt disk-tier entries retained as .bad postmortem "
+            "files.",
+        ).set(disk.corrupt_entries)
 
     tracer = getattr(server, "tracer", None)
     if tracer is not None and tracer.enabled:

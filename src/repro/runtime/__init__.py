@@ -23,16 +23,31 @@ calls, this package keeps compiled kernels alive and serves them:
   tiered promote/deoptimize loop that counts per-exact-shape traffic,
   promotes hot shapes to tile-aligned specialized kernels served with
   (near-)zero padding, and deoptimizes them when traffic shifts.
+* :mod:`~repro.runtime.resilience` — deadlines, bounded-queue load
+  shedding, seeded retries, and per-site circuit breakers with
+  degraded-mode serving (memory-only, generic-bucket fallback).
+* :mod:`~repro.runtime.faults` — :class:`FaultPlan`: deterministic,
+  seeded fault injection at named sites, driving the chaos soak
+  (``benchmarks/bench_chaos.py``).
 
 Entry points: :class:`RuntimeServer` here, or :func:`repro.api.serve`.
 """
 
 from repro.runtime.bucketing import Bucket, BucketPolicy
 from repro.runtime.diskcache import DiskCacheStats, DiskCacheTier
+from repro.runtime.faults import FAULT_SITES, FaultPlan, InjectedFault
 from repro.runtime.registry import (
     KernelRegistry,
     RegisteredKernel,
     default_registry,
+)
+from repro.runtime.resilience import (
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilienceConfig,
+    ResilientTier,
+    RetryPolicy,
 )
 from repro.runtime.server import RuntimeResult, RuntimeServer
 from repro.runtime.specialize import (
@@ -50,11 +65,20 @@ from repro.runtime.telemetry import (
 __all__ = [
     "Bucket",
     "BucketPolicy",
+    "BreakerOpen",
+    "CircuitBreaker",
+    "DeadlineExceeded",
     "DiskCacheStats",
     "DiskCacheTier",
+    "FAULT_SITES",
+    "FaultPlan",
+    "InjectedFault",
     "KernelRegistry",
     "KernelServingStats",
     "RegisteredKernel",
+    "ResilienceConfig",
+    "ResilientTier",
+    "RetryPolicy",
     "RuntimeResult",
     "RuntimeServer",
     "RuntimeStats",

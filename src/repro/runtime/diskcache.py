@@ -10,9 +10,12 @@ long-lived runtimes rely on.
 Robustness contract: ``load`` never raises into the compile path. A
 truncated or otherwise unreadable pickle — a crash mid-write on a
 filesystem without atomic rename, bit rot, a stale format — counts as a
-corrupt miss, the offending file is deleted, and the caller recompiles
-(healing the entry via write-through). Writes go through a temp file
-and ``os.replace`` so concurrent readers never observe a partial entry.
+corrupt miss; the offending file is **quarantined** to ``<key>.bad``
+(not silently deleted) so operators can postmortem what corrupted it,
+and the caller recompiles, healing the entry via write-through. At most
+``max_quarantine`` ``.bad`` files are retained, pruned oldest-first
+like the LRU budget. Writes go through a temp file and ``os.replace``
+so concurrent readers never observe a partial entry.
 """
 
 from __future__ import annotations
@@ -32,13 +35,17 @@ class DiskCacheStats:
 
     ``pruned``/``pruned_bytes`` count entries evicted by the
     ``max_bytes`` LRU budget (least-recently-used by mtime; loads touch
-    their entry, so a hot entry survives writers).
+    their entry, so a hot entry survives writers). ``corrupt`` counts
+    corrupt *loads* observed; ``corrupt_entries`` is the number of
+    quarantined ``.bad`` files currently retained on disk (bounded by
+    the tier's ``max_quarantine``).
     """
 
     hits: int = 0
     misses: int = 0
     stores: int = 0
     corrupt: int = 0
+    corrupt_entries: int = 0
     errors: int = 0
     pruned: int = 0
     pruned_bytes: int = 0
@@ -65,19 +72,33 @@ class DiskCacheTier:
             never pruned by its own store, so the budget can be
             exceeded transiently by one entry. ``None`` leaves the tier
             unbounded, the historical behavior.
+        max_quarantine: how many corrupt entries to retain as
+            ``<key>.bad`` postmortem evidence; older quarantined files
+            are pruned first (mtime order, like the LRU budget).
 
     Raises:
-        ValueError: ``max_bytes`` is not positive.
+        ValueError: ``max_bytes`` is not positive, or ``max_quarantine``
+            is negative.
     """
 
-    def __init__(self, path, max_bytes: Optional[int] = None) -> None:
+    def __init__(
+        self,
+        path,
+        max_bytes: Optional[int] = None,
+        max_quarantine: int = 16,
+    ) -> None:
         if max_bytes is not None and max_bytes < 1:
             raise ValueError(
                 f"max_bytes must be >= 1 or None, got {max_bytes}"
             )
+        if max_quarantine < 0:
+            raise ValueError(
+                f"max_quarantine must be >= 0, got {max_quarantine}"
+            )
         self.path = Path(path)
         self.path.mkdir(parents=True, exist_ok=True)
         self.max_bytes = max_bytes
+        self.max_quarantine = max_quarantine
         self.stats = DiskCacheStats()
         self._lock = threading.Lock()
 
@@ -96,8 +117,9 @@ class DiskCacheTier:
 
         Returns:
             The unpickled kernel, or ``None`` on a miss — including
-            unreadable/corrupt entries, which are deleted so a
-            recompile can heal them via write-through.
+            unreadable/corrupt entries, which are quarantined to
+            ``<key>.bad`` so a recompile can heal the live entry via
+            write-through while the evidence survives for postmortems.
         """
         try:
             with open(self._file(key), "rb") as handle:
@@ -108,14 +130,12 @@ class DiskCacheTier:
             return None
         except Exception:
             # Truncated/garbled pickle, or an entry written by an
-            # incompatible version: drop it and fall back to recompile.
+            # incompatible version: quarantine it and fall back to
+            # recompile.
             with self._lock:
                 self.stats.corrupt += 1
                 self.stats.misses += 1
-            try:
-                self._file(key).unlink()
-            except OSError:
-                pass
+            self._quarantine(key)
             return None
         try:
             os.utime(self._file(key))  # LRU touch: loads keep it warm
@@ -156,6 +176,52 @@ class DiskCacheTier:
             self.stats.stores += 1
         if self.max_bytes is not None:
             self._prune(keep=key)
+
+    def _quarantine(self, key: str) -> None:
+        """Move a corrupt entry aside as ``<key>.bad`` (best effort).
+
+        With ``max_quarantine == 0`` the entry is deleted outright (the
+        historical behavior). Retained quarantine files beyond the
+        bound are pruned oldest-first by mtime.
+        """
+        source = self._file(key)
+        if self.max_quarantine == 0:
+            try:
+                source.unlink()
+            except OSError:
+                pass
+            return
+        try:
+            os.replace(source, self.path / f"{key}.bad")
+        except OSError:
+            # Rename failed (e.g. the file vanished); fall back to
+            # delete so the corrupt entry cannot be served again.
+            try:
+                source.unlink()
+            except OSError:
+                pass
+        quarantined = []
+        for entry in self.path.glob("*.bad"):
+            try:
+                quarantined.append((entry.stat().st_mtime, str(entry)))
+            except OSError:
+                pass
+        quarantined.sort()
+        retained = len(quarantined)
+        for _mtime, stale in quarantined[
+            : max(retained - self.max_quarantine, 0)
+        ]:
+            try:
+                os.unlink(stale)
+                retained -= 1
+            except OSError:
+                pass
+        with self._lock:
+            self.stats.corrupt_entries = retained
+
+    def quarantined_keys(self) -> List[str]:
+        """Compile keys currently quarantined as ``.bad``, sorted."""
+        return sorted(p.stem for p in self.path.glob("*.bad"))
 
     def total_bytes(self) -> int:
         """Bytes currently persisted across every entry (best effort)."""
@@ -208,12 +274,14 @@ class DiskCacheTier:
         return sorted(p.stem for p in self.path.glob("*.pkl"))
 
     def clear(self) -> None:
-        """Delete every persisted entry (best effort)."""
-        for entry in self.path.glob("*.pkl"):
-            try:
-                entry.unlink()
-            except OSError:
-                pass
+        """Delete every persisted entry, including quarantined ``.bad``
+        files (best effort)."""
+        for pattern in ("*.pkl", "*.bad"):
+            for entry in self.path.glob(pattern):
+                try:
+                    entry.unlink()
+                except OSError:
+                    pass
         with self._lock:
             self.stats = DiskCacheStats()
 

@@ -17,6 +17,15 @@ DiskCacheTier` beneath it, so a restarted server warms from disk —
 zero passes executed — instead of recompiling. ``warm`` precompiles
 buckets ahead of traffic and can autotune each bucket's mapping with
 :func:`repro.tuner.autotune` first.
+
+The server composes the :mod:`~repro.runtime.resilience` layer so a
+single node degrades instead of failing: per-request **deadlines**
+(``submit(deadline=...)``) fail fast at dispatch, a **bounded queue**
+sheds load under the configured policy, transient compile/disk
+failures **retry** with seeded backoff, and per-site **circuit
+breakers** cut over to degraded serving — memory-only when the disk
+breaker opens, generic-bucket when a kernel's compile breaker opens.
+``docs/resilience.md`` has the failure taxonomy and guarantees.
 """
 
 from __future__ import annotations
@@ -40,8 +49,19 @@ from repro.gpusim.gpu import GpuResult
 from repro.machine.machine import MachineModel
 from repro.obs.flight import FlightRecorder
 from repro.obs.trace import NULL_TRACER, Tracer
+from repro.runtime import faults
 from repro.runtime.bucketing import Bucket
 from repro.runtime.diskcache import DiskCacheTier
+from repro.runtime.resilience import (
+    BREAKER_OPEN,
+    SHED_REJECT_NEW,
+    BreakerOpen,
+    CircuitBreaker,
+    DeadlineExceeded,
+    ResilienceConfig,
+    ResilientTier,
+    call_with_retry,
+)
 from repro.runtime.registry import (
     KernelRegistry,
     RegisteredKernel,
@@ -124,6 +144,11 @@ class _QueuedRequest:
     #: hit — a hit serves ``bucket`` = the aligned specialized shape.
     exact_bucket: Any = field(compare=False, default=None)
     specialized: bool = field(compare=False, default=False)
+    #: Absolute ``perf_counter`` deadline (None = no deadline). Checked
+    #: at batch dispatch: an expired request fails fast with
+    #: :class:`~repro.runtime.resilience.DeadlineExceeded` instead of
+    #: occupying a worker.
+    deadline: Optional[float] = field(compare=False, default=None)
 
 
 class RuntimeServer:
@@ -164,6 +189,12 @@ class RuntimeServer:
             path for a default-sized one) fed every finished span and
             dumped to disk on :meth:`close` and on worker-loop
             exceptions, for postmortems.
+        resilience: a :class:`~repro.runtime.resilience.
+            ResilienceConfig` tuning the queue bound, load-shedding
+            policy, retry backoff, and breaker thresholds. ``None``
+            (the default) arms retries and breakers with conservative
+            defaults while keeping the queue unbounded — the
+            historical behavior, plus self-healing.
         start: spawn workers immediately; ``start=False`` lets tests and
             batch loaders enqueue before serving begins (call
             :meth:`start`).
@@ -189,6 +220,7 @@ class RuntimeServer:
         specialize: Union[bool, "SpecializerConfig"] = False,
         trace: Union[bool, Tracer] = False,
         flight: Union[None, str, FlightRecorder] = None,
+        resilience: Optional[ResilienceConfig] = None,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -213,6 +245,11 @@ class RuntimeServer:
         #: so close(drain=False) can fail (never strand) their futures.
         self._live_graphs: Dict[int, Any] = {}
         self.telemetry = Telemetry()
+        self.resilience = resilience or ResilienceConfig()
+        #: Lazily created per-site breakers (``"disk"``,
+        #: ``"compile:<kernel>"``); see :meth:`_breaker`.
+        self.breakers: Dict[str, CircuitBreaker] = {}
+        self._breaker_lock = threading.Lock()
         if isinstance(flight, FlightRecorder):
             self.flight: Optional[FlightRecorder] = flight
         elif flight is not None:
@@ -244,11 +281,24 @@ class RuntimeServer:
             )
             self.specializer = ShapeSpecializer(self, spec_config)
         if disk_cache is None:
-            self.disk_tier: Optional[DiskCacheTier] = None
-        elif isinstance(disk_cache, DiskCacheTier):
-            self.disk_tier = disk_cache
+            self.disk_tier: Optional[ResilientTier] = None
         else:
-            self.disk_tier = DiskCacheTier(disk_cache)
+            raw_tier = (
+                disk_cache
+                if isinstance(disk_cache, DiskCacheTier)
+                else DiskCacheTier(disk_cache)
+            )
+            # The server's disk tier IS the armored wrapper: every
+            # load/store (compile-cache write-through, warm(), the
+            # speculator) goes through retry + breaker, and an open
+            # disk breaker degrades to memory-only serving.
+            self.disk_tier = ResilientTier(
+                raw_tier,
+                breaker=self._breaker("disk"),
+                retry=self.resilience.retry,
+                on_retry=self._on_retry,
+                on_degraded=self._on_degraded,
+            )
         self._previous_tier = None
         if self.disk_tier is not None:
             self._previous_tier = compile_cache.attach_second_tier(
@@ -365,20 +415,35 @@ class RuntimeServer:
         *,
         inputs: Optional[Mapping[str, np.ndarray]] = None,
         priority: int = 0,
+        deadline: Optional[float] = None,
     ) -> "Future[RuntimeResult]":
         """Enqueue one request; returns a future of :class:`RuntimeResult`.
 
         Unknown kernel names and malformed shapes raise immediately in
-        the calling thread (the request never enters the queue). Higher
-        ``priority`` values are served first; ties are FIFO. ``inputs``
-        (numpy arrays padded to the bucket shape) additionally run the
-        kernel functionally and land in ``RuntimeResult.outputs``.
+        the calling thread (the request never enters the queue), as
+        does submitting to a closed server. Higher ``priority`` values
+        are served first; ties are FIFO. ``inputs`` (numpy arrays
+        padded to the bucket shape) additionally run the kernel
+        functionally and land in ``RuntimeResult.outputs``.
+
+        ``deadline`` is a relative budget in seconds: a request still
+        queued when it elapses fails fast with
+        :class:`~repro.runtime.resilience.DeadlineExceeded` at dispatch
+        instead of occupying a worker. When the server's
+        :class:`~repro.runtime.resilience.ResilienceConfig` bounds the
+        queue, an over-bound submit either raises (``"reject-new"``)
+        or evicts the longest-queued request (``"drop-oldest"``).
 
         With a specializer attached, the request's exact shape is
         checked against the installed specializations first: a guard
         hit serves the tile-aligned specialized kernel (near-zero
         padding, bit-identical outputs) instead of the generic bucket.
         """
+        if self._closed or self._stopping:
+            # Fail loudly before any registry/shape work: a submit
+            # racing close() would otherwise surface the same error
+            # only at enqueue time.
+            raise CypressError("server closed")
         registered = self.registry.get(kernel)
         shape_dict = self._coerce_shape(registered, shape)
         bucket = registered.bucket(shape_dict)
@@ -397,6 +462,8 @@ class RuntimeServer:
         )
         request.exact_bucket = exact
         request.specialized = specialized
+        if deadline is not None:
+            request.deadline = time.perf_counter() + deadline
         self.submit_prepared([request])
         return request.future
 
@@ -435,7 +502,10 @@ class RuntimeServer:
         and submit timestamps are stamped, every slot is pushed, and
         waiting workers are notified once per slot. Raises
         :class:`CypressError` (before touching the queue) when the
-        server is closed.
+        server is closed, or when the bounded queue is full under the
+        ``"reject-new"`` shed policy; under ``"drop-oldest"`` the
+        longest-queued requests are evicted instead (their futures
+        fail, counted as ``shed_requests`` — not as failures).
         """
         if not requests:
             return
@@ -468,17 +538,57 @@ class RuntimeServer:
                     request.exact_bucket = exact
                 shapes.append((request.kernel.name, exact))
         pairs = []
+        shed: List[_QueuedRequest] = []
+        max_queue = self.resilience.max_queue
         with self._cv:
             # Checked under the lock: a request enqueued after close()
             # drained the queue would never resolve.
             if self._closed or self._stopping:
-                raise CypressError("RuntimeServer is closed")
+                raise CypressError("server closed")
+            if max_queue is not None:
+                overflow = len(self._queue) + len(requests) - max_queue
+                if overflow > 0:
+                    if self.resilience.shed_policy == SHED_REJECT_NEW:
+                        # Before record_submit: a rejected request is
+                        # never counted as admitted.
+                        raise CypressError(
+                            f"queue full ({max_queue} requests); "
+                            "submit rejected (shed policy 'reject-new')"
+                        )
+                    # drop-oldest: evict the longest-queued entries
+                    # (lowest sequence number) to admit the new ones.
+                    victims = sorted(
+                        self._queue, key=lambda r: r.sort_key[1]
+                    )[:overflow]
+                    chosen = set(map(id, victims))
+                    self._queue = [
+                        r for r in self._queue if id(r) not in chosen
+                    ]
+                    heapq.heapify(self._queue)
+                    shed.extend(victims)
             for request in requests:
                 request.sort_key = (request.sort_key[0], next(self._seq))
                 request.submitted_at = now
                 heapq.heappush(self._queue, request)
                 pairs.append(request.batch_key)
             self._cv.notify(len(requests))
+        if shed:
+            # Outside the lock: a shed future's done-callback may
+            # re-enter submit_prepared.
+            error = CypressError(
+                f"request shed: queue full ({max_queue} requests), "
+                "policy 'drop-oldest'"
+            )
+            for victim in shed:
+                if victim.span is not None:
+                    tracer.end(victim.span, args={"error": repr(error)})
+                if victim.future.set_running_or_notify_cancel():
+                    victim.future.set_exception(error)
+            # Every victim was admitted (counted submitted) and will
+            # never complete or fail: count all of them shed so
+            # shed + completed + failed keeps accounting for every
+            # admitted request.
+            self.telemetry.record_shed(len(shed))
         self.telemetry.record_submit(len(requests))
         self.telemetry.record_bucket_traffic(pairs, shapes)
 
@@ -642,13 +752,70 @@ class RuntimeServer:
         )
 
     # ------------------------------------------------------------------
+    # Resilience plumbing
+    # ------------------------------------------------------------------
+    def _breaker(self, site: str) -> CircuitBreaker:
+        """The lazily created circuit breaker guarding ``site``
+        (``"disk"``, ``"compile:<kernel>"``)."""
+        with self._breaker_lock:
+            breaker = self.breakers.get(site)
+            if breaker is None:
+                breaker = CircuitBreaker(
+                    site,
+                    failure_threshold=self.resilience.breaker_threshold,
+                    cooldown_s=self.resilience.breaker_cooldown_s,
+                    on_transition=self._on_breaker_transition,
+                )
+                self.breakers[site] = breaker
+            return breaker
+
+    def _on_breaker_transition(
+        self, site: str, old: str, new: str
+    ) -> None:
+        # Invoked outside the breaker lock (see CircuitBreaker).
+        if new == BREAKER_OPEN:
+            self.telemetry.record_breaker_trip()
+        tracer = self.tracer
+        if tracer.enabled:
+            now = time.perf_counter()
+            tracer.record(
+                "breaker", "resilience", now, now,
+                args={"site": site, "from": old, "to": new},
+            )
+        if self.flight is not None:
+            self.flight.note(
+                "breaker", {"site": site, "from": old, "to": new}
+            )
+
+    def _on_retry(self, error: BaseException) -> None:
+        # Counts every transient failure the retry machinery absorbs,
+        # including a final failing attempt — so a chaos soak can
+        # assert retries >= injected transient faults.
+        self.telemetry.record_retry()
+
+    def _on_degraded(self, site: str) -> None:
+        self.telemetry.record_degraded()
+
+    # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
     def _obtain_kernel(
         self, registered: RegisteredKernel, bucket: Bucket
     ) -> Tuple[Any, str, str]:
         """Compile (or fetch) the bucket's kernel; returns
-        ``(kernel, tier, compile_key)``."""
+        ``(kernel, tier, compile_key)``.
+
+        Actual compiles (both cache tiers missed) run under the
+        kernel's ``compile:<name>`` circuit breaker and the configured
+        retry policy, with the ``compile`` fault site armed inside the
+        retried attempt. Cache hits skip all of it — the hot path cost
+        of the resilience layer on a warm server is zero.
+
+        Raises:
+            BreakerOpen: the kernel's compile breaker is open; callers
+                either fall back to a cached generic bucket
+                (specialized requests) or fail fast.
+        """
         from repro import api
 
         params = self._bucket_params.get((registered.name, bucket))
@@ -663,7 +830,33 @@ class RuntimeServer:
             tier = TIER_DISK
         else:
             tier = TIER_COMPILE
-        kernel = api.compile_kernel(build, options=self._options)
+        if tier != TIER_COMPILE:
+            kernel = api.compile_kernel(build, options=self._options)
+            return kernel, tier, key
+        breaker = self._breaker(f"compile:{registered.name}")
+        if not breaker.allow():
+            raise BreakerOpen(breaker.site)
+        plan = faults.ACTIVE
+
+        def attempt() -> Any:
+            if plan is not None:
+                plan.check("compile", registered.name)
+            return api.compile_kernel(build, options=self._options)
+
+        try:
+            kernel = call_with_retry(
+                attempt,
+                self.resilience.retry,
+                salt=f"compile:{key}",
+                on_retry=self._on_retry,
+            )
+        except Exception:
+            # Transient or deterministic: a kernel whose compiles keep
+            # failing is broken either way, and fail-fast beats
+            # repeating the failure under every future request.
+            breaker.record_failure()
+            raise
+        breaker.record_success()
         return kernel, tier, key
 
     def _fit_inputs(
@@ -771,12 +964,44 @@ class RuntimeServer:
             )
             self.flight.dump(reason="worker-exception")
 
+    def _fail_expired(self, expired: List[_QueuedRequest]) -> None:
+        """Fail past-deadline requests fast — no compile, no simulate,
+        no worker time beyond this bookkeeping."""
+        tracer = self.tracer
+        timed_out = 0
+        for request in expired:
+            if not request.future.set_running_or_notify_cancel():
+                continue
+            error = DeadlineExceeded(
+                f"request for {request.kernel.name!r} missed its "
+                "deadline while queued"
+            )
+            if request.span is not None:
+                tracer.end(request.span, args={"error": repr(error)})
+            request.future.set_exception(error)
+            timed_out += 1
+        if timed_out:
+            self.telemetry.record_timeout(timed_out)
+            self.telemetry.record_failure(timed_out)
+
     def _execute_batch(
         self, batch: List[_QueuedRequest], popped_at: float = 0.0
     ) -> None:
+        pending = batch
+        if any(r.deadline is not None for r in batch):
+            now = time.perf_counter()
+            expired = []
+            pending = []
+            for request in batch:
+                if request.deadline is not None and now >= request.deadline:
+                    expired.append(request)
+                else:
+                    pending.append(request)
+            if expired:
+                self._fail_expired(expired)
         live = [
             request
-            for request in batch
+            for request in pending
             if request.future.set_running_or_notify_cancel()
         ]
         if not live:
@@ -790,13 +1015,47 @@ class RuntimeServer:
             self.speculator.note_request(head.kernel.name, head.bucket)
         try:
             compile_start = time.perf_counter() if tracing else 0.0
-            kernel, tier, _key = self._obtain_kernel(
-                head.kernel, head.bucket
-            )
+            try:
+                kernel, tier, _key = self._obtain_kernel(
+                    head.kernel, head.bucket
+                )
+            except BreakerOpen:
+                # Degraded serving: a specialized batch whose compile
+                # breaker is open falls back to the generic bucket
+                # (typically memory-cached, so no compile at all);
+                # generic batches fail fast instead.
+                if not head.specialized:
+                    raise
+                generic = head.kernel.bucket(head.shape)
+                if generic == head.bucket:
+                    raise
+                kernel, tier, _key = self._obtain_kernel(
+                    head.kernel, generic
+                )
+                self.telemetry.record_degraded(len(live))
             compile_end = time.perf_counter() if tracing else 0.0
             from repro import api
 
-            gpu = api.simulate(kernel, self.machine)
+            plan = faults.ACTIVE
+            if plan is None:
+                gpu = api.simulate(kernel, self.machine)
+            else:
+
+                def run_batch() -> Any:
+                    active = faults.ACTIVE
+                    if active is not None:
+                        active.check("worker.execute", head.kernel.name)
+                    return api.simulate(kernel, self.machine)
+
+                # Simulation is deterministic, so a retried injected
+                # fault reproduces bit-identical results — the
+                # degraded-output guarantee bench_chaos gates on.
+                gpu = call_with_retry(
+                    run_batch,
+                    self.resilience.retry,
+                    salt=f"execute:{head.kernel.name}",
+                    on_retry=self._on_retry,
+                )
         except Exception as error:
             self.telemetry.record_failure(len(live))
             for request in live:
@@ -947,6 +1206,11 @@ class RuntimeServer:
         rates, queue depth, per-kernel throughput, tracing volume)."""
         with self._cv:
             depth = len(self._queue)
+        with self._breaker_lock:
+            breaker_states = {
+                site: breaker.state
+                for site, breaker in self.breakers.items()
+            }
         return self.telemetry.snapshot(
             queue_depth=depth,
             trace_enabled=self.tracer.enabled,
@@ -954,6 +1218,7 @@ class RuntimeServer:
             flight_records=(
                 self.flight.recorded if self.flight is not None else 0
             ),
+            breaker_states=breaker_states,
         )
 
     def metrics(self, registry=None):

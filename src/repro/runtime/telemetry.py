@@ -95,6 +95,20 @@ class RuntimeStats:
     trace_enabled: bool = False
     trace_spans: int = 0
     flight_records: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    shed_requests: int = 0
+    loop_crashes: int = 0
+    degraded_serves: int = 0
+    breaker_trips: int = 0
+    breaker_states: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def breakers_open(self) -> int:
+        """Circuit breakers currently not closed (open or half-open)."""
+        return sum(
+            1 for state in self.breaker_states.values() if state != "closed"
+        )
 
     @property
     def speculation_wasted(self) -> int:
@@ -184,6 +198,15 @@ class RuntimeStats:
                 "trace_spans": self.trace_spans,
                 "flight_records": self.flight_records,
             },
+            "resilience": {
+                "timeouts": self.timeouts,
+                "retries": self.retries,
+                "shed_requests": self.shed_requests,
+                "loop_crashes": self.loop_crashes,
+                "degraded_serves": self.degraded_serves,
+                "breaker_trips": self.breaker_trips,
+                "breaker_states": dict(sorted(self.breaker_states.items())),
+            },
             "kernels": {
                 name: {
                     "requests": k.requests,
@@ -240,6 +263,18 @@ class RuntimeStats:
                 f"({self.graphs_failed} failed), {self.graph_nodes} nodes; "
                 f"makespan p50 {self.p50_graph_makespan_s * 1e3:.2f} ms, "
                 f"p95 {self.p95_graph_makespan_s * 1e3:.2f} ms"
+            )
+        if (
+            self.timeouts or self.retries or self.shed_requests
+            or self.loop_crashes or self.degraded_serves
+            or self.breaker_trips or self.breakers_open
+        ):
+            lines.append(
+                f"resil.:  {self.timeouts} timeouts, {self.retries} "
+                f"retries, {self.shed_requests} shed, "
+                f"{self.degraded_serves} degraded serves; breakers "
+                f"{self.breaker_trips} trips ({self.breakers_open} "
+                f"open), {self.loop_crashes} loop crashes"
             )
         if self.trace_enabled or self.flight_records:
             lines.append(
@@ -302,6 +337,12 @@ class Telemetry:
         self._deopts = 0
         self._specialize_errors = 0
         self._padded_flops_saved = 0.0
+        self._timeouts = 0
+        self._retries = 0
+        self._shed = 0
+        self._loop_crashes = 0
+        self._degraded = 0
+        self._breaker_trips = 0
 
     def record_submit(self, count: int = 1) -> None:
         """Count ``count`` requests entering the queue."""
@@ -402,6 +443,47 @@ class Telemetry:
         with self._lock:
             self._specialize_errors += 1
 
+    def record_timeout(self, count: int = 1) -> None:
+        """Count ``count`` requests failed by deadline enforcement
+        (also counted in ``failed`` by the caller)."""
+        with self._lock:
+            self._timeouts += count
+
+    def record_retry(self, count: int = 1) -> None:
+        """Count ``count`` transient failures absorbed by the retry
+        machinery (compile, disk tier, worker execute). Every observed
+        transient fault is counted — including the final attempt's —
+        so under fault injection ``retries`` is at least the number of
+        transient faults seen."""
+        with self._lock:
+            self._retries += count
+
+    def record_shed(self, count: int = 1) -> None:
+        """Count ``count`` requests shed by queue admission control
+        (bounded queue, drop-oldest policy). Shed requests are *not*
+        counted in ``failed``: ``shed + completed + failed`` accounts
+        for every admitted submit."""
+        with self._lock:
+            self._shed += count
+
+    def record_loop_crash(self) -> None:
+        """Count one background-loop crash (the supervisor restarts
+        the loop with capped backoff)."""
+        with self._lock:
+            self._loop_crashes += 1
+
+    def record_degraded(self, count: int = 1) -> None:
+        """Count ``count`` requests served in degraded mode (memory-only
+        after a disk-breaker trip, or generic-bucket fallback after a
+        compile-breaker trip)."""
+        with self._lock:
+            self._degraded += count
+
+    def record_breaker_trip(self) -> None:
+        """Count one circuit breaker tripping open."""
+        with self._lock:
+            self._breaker_trips += 1
+
     def record_batch(self, size: int) -> None:
         """Count one micro-batch of ``size`` requests."""
         with self._lock:
@@ -457,6 +539,7 @@ class Telemetry:
         trace_enabled: bool = False,
         trace_spans: int = 0,
         flight_records: int = 0,
+        breaker_states: Optional[Dict[str, str]] = None,
     ) -> RuntimeStats:
         """Freeze the collector into a :class:`RuntimeStats` value.
 
@@ -465,6 +548,8 @@ class Telemetry:
             trace_enabled: whether the owning server has a live tracer.
             trace_spans: finished spans the tracer has recorded.
             flight_records: records appended to the flight recorder.
+            breaker_states: site -> circuit-breaker state at snapshot
+                time (the server passes its live breaker registry).
 
         Returns:
             An immutable view; the collector keeps accumulating.
@@ -519,4 +604,11 @@ class Telemetry:
                 trace_enabled=trace_enabled,
                 trace_spans=trace_spans,
                 flight_records=flight_records,
+                timeouts=self._timeouts,
+                retries=self._retries,
+                shed_requests=self._shed,
+                loop_crashes=self._loop_crashes,
+                degraded_serves=self._degraded,
+                breaker_trips=self._breaker_trips,
+                breaker_states=dict(breaker_states or {}),
             )

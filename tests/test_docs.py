@@ -5,7 +5,8 @@ invariants so documentation cannot silently regress:
 
 1. every public symbol of ``repro.api``, ``repro.tuner``,
    ``repro.runtime``, ``repro.runtime.speculate``,
-   ``repro.runtime.specialize``, ``repro.graph``,
+   ``repro.runtime.specialize``, ``repro.runtime.resilience``,
+   ``repro.runtime.faults``, ``repro.graph``,
    ``repro.graph.template``, ``repro.obs``, and
    ``repro.tensors.regions`` (and their public methods) carries a
    non-empty docstring;
@@ -24,6 +25,8 @@ import repro.graph
 import repro.graph.template
 import repro.obs
 import repro.runtime
+import repro.runtime.faults
+import repro.runtime.resilience
 import repro.runtime.specialize
 import repro.runtime.speculate
 import repro.tensors.regions
@@ -37,6 +40,8 @@ PUBLIC_MODULES = (
     repro.runtime,
     repro.runtime.specialize,
     repro.runtime.speculate,
+    repro.runtime.resilience,
+    repro.runtime.faults,
     repro.graph,
     repro.graph.template,
     repro.obs,
@@ -119,7 +124,7 @@ class TestMarkdownLinks:
     def test_docs_tree_exists(self):
         for guide in (
             "architecture.md", "tuning.md", "serving.md", "graphs.md",
-            "observability.md", "specialization.md",
+            "observability.md", "specialization.md", "resilience.md",
         ):
             assert (REPO_ROOT / "docs" / guide).exists(), guide
 

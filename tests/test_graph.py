@@ -677,6 +677,91 @@ class TestExecution:
                 execution.result(timeout=600)
             assert server.stats().graphs_failed == 1
 
+    def test_failed_node_fails_only_its_dependent_cone(self, hopper):
+        # node0 -> node1(bad) -> node2, node3 independent.  The bad
+        # compile fails node1, skips node2 (its cone), and leaves
+        # node0/node3 to complete: a partial GraphResult, not a
+        # whole-graph failure.
+        from repro.kernels import build_gemm
+        from repro.runtime import BucketPolicy, KernelRegistry
+
+        reg = KernelRegistry()
+        reg.register(
+            "gemm",
+            build_gemm,
+            ("m", "n", "k"),
+            policy=BucketPolicy(ladders={}),
+            defaults=dict(tile_m=128, tile_n=256, tile_k=64),
+        )
+        # tile_m=192 survives build but fails in the compiler.
+        reg.register(
+            "bad_gemm",
+            build_gemm,
+            ("m", "n", "k"),
+            policy=BucketPolicy(ladders={}),
+            defaults=dict(tile_m=192, tile_n=128, tile_k=64),
+        )
+        gb = GraphBuilder(hopper, registry=reg)
+        x = gb.tensor("X", (M, M))
+        w = gb.tensor("W", (M, M))
+        y = gb.tensor("Y", (M, M))
+        z = gb.tensor("Z", (M, M))
+        u = gb.tensor("U", (M, M))
+        v = gb.tensor("V", (M, M))
+        square = dict(m=M, n=M, k=M)
+        gb.launch("gemm", square, reads=dict(A=x, B=w), writes=dict(C=y))
+        gb.launch(
+            "bad_gemm", square, reads=dict(A=y, B=w), writes=dict(C=z)
+        )
+        gb.launch("gemm", square, reads=dict(A=z, B=w), writes=dict(C=u))
+        gb.launch("gemm", square, reads=dict(A=x, B=x), writes=dict(C=v))
+        graph = gb.build()
+
+        with RuntimeServer(hopper, reg, workers=2) as server:
+            result = server.submit_graph(graph).result(timeout=600)
+            stats = server.stats()
+        assert not result.complete
+        assert set(result.failed) == {1}
+        assert isinstance(result.failed[1], CypressError)
+        assert result.skipped == {2: 1}
+        assert set(result.results) == {0, 3}
+        assert result.outcomes() == {
+            0: "ok",
+            1: "failed",
+            2: "skipped",
+            3: "ok",
+        }
+        # Partial delivery is still delivery: the graph completed.
+        assert stats.graphs_completed == 1
+        assert stats.graphs_failed == 0
+        assert stats.failed == 1  # the bad node's request
+
+    def test_all_nodes_failing_raises_from_the_future(self, hopper):
+        from repro.kernels import build_gemm
+        from repro.runtime import BucketPolicy, KernelRegistry
+
+        reg = KernelRegistry()
+        reg.register(
+            "bad_gemm",
+            build_gemm,
+            ("m", "n", "k"),
+            policy=BucketPolicy(ladders={}),
+            defaults=dict(tile_m=192, tile_n=128, tile_k=64),
+        )
+        gb = GraphBuilder(hopper, registry=reg)
+        a = gb.tensor("A", (M, K))
+        b = gb.tensor("B", (K, N))
+        c = gb.tensor("C", (M, N))
+        gb.launch(
+            "bad_gemm", GEMM_SHAPE, reads=dict(A=a, B=b), writes=dict(C=c)
+        )
+        graph = gb.build()
+        with RuntimeServer(hopper, reg, workers=1) as server:
+            execution = server.submit_graph(graph)
+            with pytest.raises(CypressError):
+                execution.result(timeout=600)
+            assert server.stats().graphs_failed == 1
+
     def test_transformer_block_smoke(self, hopper):
         from repro.kernels import (
             transformer_block_graph,

@@ -599,9 +599,14 @@ class TestStatsJson:
         assert payload["schema_version"] == STATS_SCHEMA_VERSION
         assert set(payload) == {
             "schema_version", "runtime", "latency", "tiers",
-            "graphs", "speculation", "specialization", "obs", "kernels",
+            "graphs", "speculation", "specialization", "resilience",
+            "obs", "kernels",
         }
         assert payload["runtime"]["requests"] == stats.requests
+        assert payload["resilience"]["retries"] == stats.retries
+        assert payload["resilience"]["breaker_states"] == dict(
+            stats.breaker_states
+        )
         assert payload["runtime"]["completed"] == 2
         assert payload["tiers"]["counts"] == dict(stats.tier_counts)
         assert payload["obs"]["trace_enabled"] is True

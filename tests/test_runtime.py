@@ -7,6 +7,7 @@ register -> warm -> mixed-shape traffic -> results identical to direct
 after a simulated restart a disk-tier hit that executes zero passes.
 """
 
+import os
 import threading
 
 import numpy as np
@@ -420,13 +421,67 @@ class TestDiskTier:
         assert tier.contains(key)
         assert tier.load(key) is not None
 
-    def test_corrupt_load_deletes_and_reports_miss(self, tmp_path):
+    def test_corrupt_load_quarantines_and_reports_miss(self, tmp_path):
         tier = DiskCacheTier(tmp_path)
         (tmp_path / "deadbeef.pkl").write_bytes(b"not a pickle")
         assert tier.load("deadbeef") is None
         assert tier.stats.corrupt == 1
         assert tier.stats.misses == 1
         assert not tier.contains("deadbeef")
+        # The evidence survives as <key>.bad for postmortems.
+        assert tier.quarantined_keys() == ["deadbeef"]
+        assert tier.stats.corrupt_entries == 1
+
+    @pytest.mark.parametrize(
+        "payload",
+        [
+            pytest.param(b"", id="zero-byte"),
+            pytest.param(b"\x80", id="truncated-pickle"),
+            pytest.param(b"GIF89a not a pickle at all", id="bad-header"),
+        ],
+    )
+    def test_corrupt_flavors_all_quarantine(self, tmp_path, payload):
+        tier = DiskCacheTier(tmp_path)
+        (tmp_path / "cafe.pkl").write_bytes(payload)
+        assert tier.load("cafe") is None
+        assert tier.stats.corrupt == 1
+        assert not tier.contains("cafe")
+        assert tier.quarantined_keys() == ["cafe"]
+        # A recompile heals the live entry; the evidence stays.
+        tier.store("cafe", {"healed": True})
+        assert tier.load("cafe") == {"healed": True}
+        assert tier.quarantined_keys() == ["cafe"]
+
+    def test_quarantine_is_bounded_lru(self, tmp_path):
+        tier = DiskCacheTier(tmp_path, max_quarantine=3)
+        for index in range(6):
+            key = f"key{index}"
+            (tmp_path / f"{key}.pkl").write_bytes(b"garbage")
+            # Distinct mtimes so oldest-first pruning is deterministic.
+            os.utime(tmp_path / f"{key}.pkl", (index, index))
+            assert tier.load(key) is None
+        assert tier.stats.corrupt == 6
+        # Only the newest three .bad files survive.
+        assert tier.quarantined_keys() == ["key3", "key4", "key5"]
+        assert tier.stats.corrupt_entries == 3
+
+    def test_quarantine_zero_deletes_outright(self, tmp_path):
+        tier = DiskCacheTier(tmp_path, max_quarantine=0)
+        (tmp_path / "dead.pkl").write_bytes(b"garbage")
+        assert tier.load("dead") is None
+        assert tier.quarantined_keys() == []
+        assert list(tmp_path.iterdir()) == []
+
+    def test_clear_removes_quarantined_entries(self, tmp_path):
+        tier = DiskCacheTier(tmp_path)
+        (tmp_path / "dead.pkl").write_bytes(b"garbage")
+        tier.load("dead")
+        tier.store("live", {"v": 1})
+        assert tier.quarantined_keys() == ["dead"]
+        tier.clear()
+        assert tier.quarantined_keys() == []
+        assert tier.keys() == []
+        assert tier.stats.corrupt_entries == 0
 
     def test_store_load_roundtrip_and_clear(self, tmp_path):
         tier = DiskCacheTier(tmp_path)
