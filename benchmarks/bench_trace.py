@@ -21,6 +21,14 @@ An end-to-end guard rides along untargeted: warm scalar ``submit()``
 p50 latency on a traced vs untraced server, so a regression that hides
 in the request path (rather than the capture path) still shows up in
 the report.
+
+PR 10 extends the same contract to the continuous sampling profiler
+(the ``ops-smoke`` CI job's gate): warm replay per-launch cost with
+:class:`~repro.obs.profiler.ContinuousProfiler` sampling the process
+at 200 Hz may cost at most ``PROFILER_OVERHEAD_FACTOR`` (1.5x) of the
+profiler-off path — the phase markers themselves are a single
+attribute load and branch when disarmed, and the sampler must stay
+off the measured thread's critical path when armed.
 """
 
 import json
@@ -41,6 +49,14 @@ _RESULTS_PATH = Path(__file__).resolve().parent / "BENCH_trace.json"
 #: Tracing-enabled per-launch cost may exceed tracing-disabled by at
 #: most this factor (the tentpole's 1.5x contract).
 TRACE_OVERHEAD_FACTOR = 1.5
+
+#: Profiler-on warm serving may exceed profiler-off by at most this
+#: factor (the live ops plane's always-on sampling contract).
+PROFILER_OVERHEAD_FACTOR = 1.5
+
+#: Sampling rate for the profiler-overhead measurement — 2x the
+#: production default, so the gate covers an aggressive config.
+_PROFILE_HZ = 200.0
 
 _LAUNCHES = 32
 _REPEATS = 7
@@ -168,7 +184,69 @@ def test_trace_overhead(machine):
         },
         "enabled_spans_recorded": tracer.span_count,
     }
-    _RESULTS_PATH.write_text(json.dumps(payload, indent=2) + "\n")
+    _merge_results(payload)
+
+
+def _merge_results(payload):
+    """Read-modify-write ``BENCH_trace.json`` so the trace and profiler
+    tests can each land their section regardless of run order."""
+    merged = {}
+    if _RESULTS_PATH.exists():
+        try:
+            merged = json.loads(_RESULTS_PATH.read_text())
+        except ValueError:
+            merged = {}
+    merged.update(payload)
+    _RESULTS_PATH.write_text(json.dumps(merged, indent=2) + "\n")
+
+
+def test_profiler_overhead(machine):
+    from repro.obs.profiler import ContinuousProfiler, ProfilerConfig
+    from repro.runtime import RuntimeServer
+
+    off_us = _replay_per_launch_us(machine, NULL_TRACER)
+
+    # Profiler on: a live (idle) server so the sampler has worker
+    # threads to attribute, with the replay chain running on the main
+    # thread under 200 Hz whole-process sampling.
+    with RuntimeServer(machine, _registry(), workers=1) as server:
+        profiler = ContinuousProfiler(
+            server, ProfilerConfig(hz=_PROFILE_HZ)
+        )
+        profiler.start()
+        try:
+            on_us = _replay_per_launch_us(machine, NULL_TRACER)
+        finally:
+            profiler.stop()
+    report = profiler.report()
+    assert report["samples"] > 0  # the sampler really ran
+    assert report["crashes"] == 0
+
+    factor = on_us / off_us if off_us else float("inf")
+    print(
+        f"\nreplay per launch: profiler off {off_us:.1f} us, "
+        f"on ({_PROFILE_HZ:.0f} Hz) {on_us:.1f} us ({factor:.2f}x); "
+        f"{report['samples']} samples"
+    )
+    assert on_us <= PROFILER_OVERHEAD_FACTOR * off_us, (
+        f"profiler-on per-launch overhead {on_us:.1f} us exceeds "
+        f"{PROFILER_OVERHEAD_FACTOR}x the profiler-off path "
+        f"({off_us:.1f} us)"
+    )
+    _merge_results(
+        {
+            "profiler": {
+                "hz": _PROFILE_HZ,
+                "overhead_factor_budget": PROFILER_OVERHEAD_FACTOR,
+                "replay_per_launch_us": {
+                    "off": off_us,
+                    "on": on_us,
+                    "factor": factor,
+                },
+                "samples": report["samples"],
+            }
+        }
+    )
 
 
 if __name__ == "__main__":

@@ -22,7 +22,10 @@ exported span count is printed last. With ``--specialize`` a skewed
 hot-shape phase runs first from its generic (padded) bucket, the
 specializer promotes it to a tile-aligned kernel, the same shape is
 served again from the tighter bucket, and the table gains a
-``specialz.:`` line.
+``specialz.:`` line. With ``--diag`` the live ops plane comes up on
+an ephemeral loopback port and each diagnostics endpoint is probed
+once over real HTTP, printing its status code and a one-line summary
+(see ``docs/ops.md``).
 
 Run it::
 
@@ -34,7 +37,8 @@ and export it as a Chrome trace — open the file in ``chrome://tracing``
 or https://ui.perfetto.dev to see the timeline. See
 ``docs/observability.md`` for the span taxonomy. Pass ``--specialize``
 to watch the traffic-driven shape-specialization loop promote a hot
-off-rung shape (see ``docs/specialization.md``).
+off-rung shape (see ``docs/specialization.md``). Pass ``--diag`` to
+serve live diagnostics over HTTP while the workload runs.
 """
 
 import argparse
@@ -46,7 +50,9 @@ from repro.machine import hopper_machine
 from repro.tuner import MappingSearchSpace
 
 
-def main(trace_path=None, requests=100, tune=True, specialize=False) -> None:
+def main(
+    trace_path=None, requests=100, tune=True, specialize=False, diag=False
+) -> None:
     machine = hopper_machine()
     random.seed(0)
     cache_dir = tempfile.mkdtemp(prefix="repro-serving-")
@@ -57,12 +63,35 @@ def main(trace_path=None, requests=100, tune=True, specialize=False) -> None:
     # would normally run it during idle time.
     from repro.runtime import SpecializerConfig
 
+    diag_config = False
+    flight = None
+    if diag:
+        from repro.obs import DiagConfig, Slo
+        from repro.obs.flight import FlightRecorder
+
+        # A path-less recorder: /flightz serves the ring over HTTP but
+        # close() writes nothing to disk.
+        flight = FlightRecorder()
+        diag_config = DiagConfig(
+            profile=True,
+            slos=(
+                Slo(
+                    "availability",
+                    metric="error_rate",
+                    target=0.999,
+                    window_s=60.0,
+                ),
+            ),
+        )
+
     with api.serve(
         machine,
         workers=4,
         disk_cache=cache_dir,
-        trace=trace_path is not None,
+        trace=trace_path is not None or diag,
+        flight=flight,
         specialize=SpecializerConfig(interval_s=60.0) if specialize else False,
+        diag=diag_config or None,
     ) as server:
         # -- warm-up: compile (and tune) bucket kernels before traffic --
         tune_space = MappingSearchSpace(
@@ -138,6 +167,35 @@ def main(trace_path=None, requests=100, tune=True, specialize=False) -> None:
                 f"[{after.tier}]"
             )
 
+        # -- live diagnostics: probe every endpoint over real HTTP --
+        if diag:
+            import json as json_module
+            import urllib.request
+
+            from repro.obs.ops import ENDPOINTS
+
+            host, port = server.diag.address
+            print(f"\n--- live ops plane (--diag) on {host}:{port} ---")
+            for path in ENDPOINTS:
+                with urllib.request.urlopen(
+                    server.diag.url(path), timeout=30
+                ) as response:
+                    body = response.read()
+                    if path == "/metrics":
+                        summary = f"{len(body.splitlines())} lines"
+                    elif path == "/profilez":
+                        report = json_module.loads(body)
+                        summary = (
+                            f"{report['samples']} samples, "
+                            f"{report['non_idle_ratio']:.0%} non-idle"
+                        )
+                    elif path == "/tracez":
+                        payload = json_module.loads(body)
+                        summary = f"{len(payload['traceEvents'])} events"
+                    else:
+                        summary = f"{len(body)} bytes"
+                    print(f"  GET {path:<10} {response.status}  {summary}")
+
         print("\n--- RuntimeStats ---")
         print(server.stats().table())
         if server.disk_tier is not None:
@@ -154,6 +212,11 @@ def main(trace_path=None, requests=100, tune=True, specialize=False) -> None:
                 f"it in chrome://tracing or https://ui.perfetto.dev"
             )
 
+    # The diag listener deliberately survives close() so orchestrators
+    # see 503 rather than connection refused; shut it down explicitly.
+    if diag:
+        server.diag.stop()
+
 
 if __name__ == "__main__":
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
@@ -168,5 +231,10 @@ if __name__ == "__main__":
         action="store_true",
         help="promote a hot off-rung shape to a tile-aligned kernel",
     )
+    parser.add_argument(
+        "--diag",
+        action="store_true",
+        help="serve live HTTP diagnostics and probe every endpoint",
+    )
     cli = parser.parse_args()
-    main(trace_path=cli.trace, specialize=cli.specialize)
+    main(trace_path=cli.trace, specialize=cli.specialize, diag=cli.diag)

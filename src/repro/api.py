@@ -396,6 +396,8 @@ def serve(
     trace: Any = False,
     flight: Any = None,
     resilience: Any = None,
+    diag: Any = None,
+    diag_port: Optional[int] = None,
 ) -> "RuntimeServer":
     """Start a :class:`~repro.runtime.RuntimeServer` on ``machine``.
 
@@ -420,9 +422,21 @@ def serve(
     seeded retry backoff, and circuit-breaker thresholds; the default
     arms retries and breakers conservatively while keeping the queue
     unbounded. See ``docs/resilience.md``.
+
+    ``diag`` enables the live ops plane (``True``, a port number, or a
+    :class:`~repro.obs.DiagConfig`): an embedded read-only HTTP
+    listener with ``/metrics``, ``/statusz``, health/readiness probes,
+    trace/flight/profiler views, and — when configured — the
+    continuous sampling profiler and SLO burn-rate alerting.
+    ``diag_port`` is shorthand for ``diag=DiagConfig(port=...)``; see
+    ``docs/ops.md``.
     """
     from repro.runtime import RuntimeServer
 
+    if diag_port is not None:
+        if diag is not None:
+            raise CypressError("pass either diag or diag_port, not both")
+        diag = diag_port
     return RuntimeServer(
         machine,
         registry,
@@ -435,4 +449,5 @@ def serve(
         trace=trace,
         flight=flight,
         resilience=resilience,
+        diag=diag,
     )

@@ -38,6 +38,7 @@ import numpy as np
 
 from repro.errors import CypressError
 from repro.graph.taskgraph import GraphNode, TaskGraph
+from repro.obs.profiler import PHASES
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle: server imports us
     from repro.runtime.server import RuntimeResult, RuntimeServer
@@ -307,6 +308,9 @@ class GraphScheduler:
             ready, key=lambda n: (-state.priorities[n.uid], n.uid)
         )
         tracer = self.server.tracer
+        profiling = PHASES.enabled
+        if profiling:
+            PHASES.push("graph.node")
         try:
             requests = []
             for node in ready:
@@ -347,6 +351,9 @@ class GraphScheduler:
         except Exception as error:
             self._fail(state, error)
             return
+        finally:
+            if profiling:
+                PHASES.pop()
         for node, request in zip(ready, requests):
             state.execution.node_futures[node.uid] = request.future
             request.future.add_done_callback(

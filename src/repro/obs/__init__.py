@@ -1,9 +1,9 @@
-"""repro.obs — observability: tracing, metrics, and the flight recorder.
+"""repro.obs — observability: tracing, metrics, flight recorder, ops.
 
 Aggregate telemetry (:class:`~repro.runtime.telemetry.RuntimeStats`)
 answers "how is the server doing"; this package answers "where did
 *this* request spend its time" and "what happened right before the
-crash". Three cooperating subsystems:
+crash". Cooperating subsystems:
 
 * :mod:`~repro.obs.trace` — :class:`Tracer` / :class:`Span`: per-request
   span trees on one monotonic clock (``time.perf_counter``), threaded
@@ -17,13 +17,28 @@ crash". Three cooperating subsystems:
   :class:`Histogram` behind a :class:`MetricsRegistry` with labels and
   Prometheus text exposition (:meth:`MetricsRegistry.render`);
   :func:`server_metrics` publishes every runtime, compile-cache, disk,
-  graph, and speculation counter into one scrapeable registry.
+  graph, and speculation counter into one scrapeable registry, and
+  :func:`validate_prometheus_text` is the strict conformance oracle
+  over the rendered document.
 * :mod:`~repro.obs.flight` — :class:`FlightRecorder`: a bounded ring
-  buffer of recent span/event records the server dumps to disk on
-  ``close()`` and on worker-loop exceptions, for postmortems.
+  buffer of recent span/event records the server dumps to disk (with
+  bounded rotation) on ``close()`` and on worker-loop exceptions, for
+  postmortems.
+* :mod:`~repro.obs.ops` — the live ops plane: :class:`DiagServer`, a
+  stdlib-only embedded HTTP listener serving ``/metrics``,
+  ``/statusz``, ``/healthz``, ``/readyz``, ``/tracez``, ``/flightz``,
+  and ``/profilez`` from a running server.
+* :mod:`~repro.obs.profiler` — :class:`ContinuousProfiler`: an
+  always-on sampling profiler attributing thread samples to serving
+  phases (queue / dispatch / compile / pass.<name> / execute /
+  graph.node / idle) with flamegraph-ready collapsed stacks.
+* :mod:`~repro.obs.slo` — :class:`Slo` / :class:`SloMonitor`:
+  declarative objectives with multi-window burn-rate alerting over
+  rolling :class:`~repro.runtime.telemetry.RuntimeStats` windows.
 
-See ``docs/observability.md`` for the span taxonomy, the metric naming
-convention, and a flight-recorder walkthrough.
+See ``docs/observability.md`` for the span taxonomy and metric naming
+convention, and ``docs/ops.md`` for the diagnostics endpoints,
+profiler attribution model, and SLO semantics.
 """
 
 from repro.obs.flight import FlightRecorder
@@ -33,6 +48,7 @@ from repro.obs.metrics import (
     Histogram,
     MetricsRegistry,
     server_metrics,
+    validate_prometheus_text,
 )
 from repro.obs.trace import (
     NULL_TRACER,
@@ -42,16 +58,52 @@ from repro.obs.trace import (
     validate_chrome_trace,
 )
 
+#: Names resolved lazily from the ops/profiler/slo modules: those pull
+#: in ``repro.runtime`` (the profiler and SLO monitor are
+#: BackgroundLoop subclasses), and importing them eagerly here would
+#: close an import cycle with ``repro.runtime.server`` — which imports
+#: this package at module top.
+_LAZY_EXPORTS = {
+    "DiagConfig": "repro.obs.ops",
+    "DiagServer": "repro.obs.ops",
+    "ContinuousProfiler": "repro.obs.profiler",
+    "PhaseTracker": "repro.obs.profiler",
+    "ProfilerConfig": "repro.obs.profiler",
+    "Slo": "repro.obs.slo",
+    "SloMonitor": "repro.obs.slo",
+}
+
+
+def __getattr__(name: str):
+    """PEP 562 lazy resolution of the ops-plane exports."""
+    module_name = _LAZY_EXPORTS.get(name)
+    if module_name is None:
+        raise AttributeError(
+            f"module {__name__!r} has no attribute {name!r}"
+        )
+    import importlib
+
+    return getattr(importlib.import_module(module_name), name)
+
+
 __all__ = [
+    "ContinuousProfiler",
     "Counter",
+    "DiagConfig",
+    "DiagServer",
     "FlightRecorder",
     "Gauge",
     "Histogram",
     "MetricsRegistry",
     "NULL_TRACER",
     "NullTracer",
+    "PhaseTracker",
+    "ProfilerConfig",
+    "Slo",
+    "SloMonitor",
     "Span",
     "Tracer",
     "server_metrics",
     "validate_chrome_trace",
+    "validate_prometheus_text",
 ]

@@ -9,6 +9,13 @@ memory at O(1) cost. :meth:`dump` writes them to disk as JSON;
 whenever a worker loop dies with an unexpected exception, so a crashed
 or misbehaving server always leaves a black box behind.
 
+Dumps **rotate**: alongside the stable "latest" file at ``path``, every
+dump also writes a uniquely-named archive sibling
+(``<stem>-<seq>-<reason><suffix>``), and only the ``max_dumps`` newest
+archives are kept per directory — a crash-looping server cannot fill
+the disk with postmortems, and the most recent evidence always
+survives.
+
 Record timestamps are ``time.perf_counter`` like every span; the dump
 *header* carries the one sanctioned wall-clock timestamp in the
 codebase (``time.time``), so a postmortem can anchor the monotonic
@@ -18,12 +25,16 @@ timeline to calendar time.
 from __future__ import annotations
 
 import json
+import re
 import threading
 import time
 from collections import deque
+from pathlib import Path
 from typing import Any, Dict, List, Optional
 
 from repro.errors import CypressError
+
+_REASON_SAFE = re.compile(r"[^A-Za-z0-9_.-]+")
 
 
 class FlightRecorder:
@@ -34,15 +45,25 @@ class FlightRecorder:
         path: default dump destination for :meth:`dump` (and what the
             server uses on close/crash). ``None`` means callers must
             pass a path explicitly.
+        max_dumps: rotated archive files kept next to ``path``; the
+            oldest are pruned after each dump. The stable "latest"
+            file at ``path`` itself does not count against the bound.
     """
 
-    def __init__(self, capacity: int = 4096, path=None) -> None:
+    def __init__(
+        self, capacity: int = 4096, path=None, max_dumps: int = 8
+    ) -> None:
         if capacity < 1:
             raise CypressError(
                 f"flight recorder capacity must be >= 1, got {capacity!r}"
             )
+        if max_dumps < 1:
+            raise CypressError(
+                f"max_dumps must be >= 1, got {max_dumps!r}"
+            )
         self.capacity = capacity
         self.path = path
+        self.max_dumps = max_dumps
         self._lock = threading.Lock()
         self._records: "deque[Dict[str, Any]]" = deque(maxlen=capacity)
         self._recorded = 0
@@ -114,27 +135,18 @@ class FlightRecorder:
         with self._lock:
             return self._dumps
 
-    def dump(self, path=None, reason: str = "manual") -> Optional[str]:
-        """Write the ring to disk as JSON; returns the path written.
+    def payload(self, reason: str = "snapshot") -> Dict[str, Any]:
+        """The dump payload as an in-memory dict, nothing written.
 
-        The header carries the dump ``reason`` (``"close"``,
-        ``"worker-exception"``, ...), a wall-clock timestamp — the one
-        place outside trace-export headers wall time appears — and the
-        retained/lifetime record counts. Returns ``None`` (without
-        writing) when no path was given at construction or call time.
-
-        Args:
-            path: destination override; defaults to the constructor's.
-            reason: why the dump happened, recorded in the header.
+        What :meth:`dump` serializes and the ``/flightz`` diagnostics
+        endpoint serves: a header (reason, wall time, retained and
+        lifetime counts) plus the retained records, oldest first.
         """
-        destination = path if path is not None else self.path
-        if destination is None:
-            return None
         with self._lock:
             records = list(self._records)
             recorded = self._recorded
-            self._dumps += 1
-        payload = {
+            dumps = self._dumps
+        return {
             "flight_recorder": {
                 "reason": reason,
                 "wall_time_s": time.time(),
@@ -144,10 +156,65 @@ class FlightRecorder:
                 "capacity": self.capacity,
                 "retained": len(records),
                 "recorded": recorded,
+                "dumps": dumps,
             },
             "records": records,
         }
-        with open(destination, "w") as handle:
-            json.dump(payload, handle, indent=1, default=str)
-            handle.write("\n")
+
+    def dump(self, path=None, reason: str = "manual") -> Optional[str]:
+        """Write the ring to disk as JSON; returns the path written.
+
+        The header carries the dump ``reason`` (``"close"``,
+        ``"worker-exception"``, ...), a wall-clock timestamp — the one
+        place outside trace-export headers wall time appears — and the
+        retained/lifetime record counts. Returns ``None`` (without
+        writing) when no path was given at construction or call time.
+
+        The destination is always (over)written as the stable "latest"
+        dump; a rotated archive copy named
+        ``<stem>-<seq>-<reason><suffix>`` lands beside it and the
+        archive set is pruned to the ``max_dumps`` newest.
+
+        Args:
+            path: destination override; defaults to the constructor's.
+            reason: why the dump happened, recorded in the header.
+        """
+        destination = path if path is not None else self.path
+        if destination is None:
+            return None
+        with self._lock:
+            self._dumps += 1
+            sequence = self._dumps
+        payload = self.payload(reason)
+        destination = Path(destination)
+        text = json.dumps(payload, indent=1, default=str) + "\n"
+        destination.write_text(text)
+        self._rotate(destination, sequence, reason, text)
         return str(destination)
+
+    def _rotate(
+        self, destination: Path, sequence: int, reason: str, text: str
+    ) -> None:
+        # Rotation is best-effort bookkeeping around the primary
+        # write: a pruning race (another recorder, an operator's rm)
+        # must never turn a successful dump into a failure.
+        safe_reason = _REASON_SAFE.sub("_", reason) or "dump"
+        archive = destination.with_name(
+            f"{destination.stem}-{sequence:04d}-{safe_reason}"
+            f"{destination.suffix}"
+        )
+        try:
+            archive.write_text(text)
+            pattern = f"{destination.stem}-*{destination.suffix}"
+            archives = [
+                candidate
+                for candidate in destination.parent.glob(pattern)
+                if candidate != destination
+            ]
+            archives.sort(
+                key=lambda p: (p.stat().st_mtime, p.name), reverse=True
+            )
+            for stale in archives[self.max_dumps:]:
+                stale.unlink()
+        except OSError:
+            pass

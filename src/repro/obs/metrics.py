@@ -23,8 +23,10 @@ labels.
 
 from __future__ import annotations
 
+import math
+import re
 import threading
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.errors import CypressError
 
@@ -38,10 +40,21 @@ _LABEL_ESCAPES = str.maketrans(
     {"\\": "\\\\", '"': '\\"', "\n": "\\n"}
 )
 
+#: HELP text escapes only backslash and newline (quotes stay literal).
+_HELP_ESCAPES = str.maketrans({"\\": "\\\\", "\n": "\\n"})
+
+#: Prometheus metric-name grammar: may not start with a digit.
+_METRIC_NAME = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_NAME = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+
 
 def _format_value(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
     if value == float("inf"):
         return "+Inf"
+    if value == float("-inf"):
+        return "-Inf"
     as_int = int(value)
     return str(as_int) if value == as_int else repr(value)
 
@@ -67,8 +80,16 @@ class _Metric:
     def __init__(
         self, name: str, help: str, labels: Sequence[str] = ()
     ) -> None:
-        if not name or not name.replace("_", "").replace(":", "").isalnum():
+        if not _METRIC_NAME.match(name or ""):
+            # The exposition-format grammar: names may not start with
+            # a digit (the old alnum check let "0bad" through and the
+            # conformance validator rejected the render).
             raise CypressError(f"invalid metric name {name!r}")
+        for label in labels:
+            if not _LABEL_NAME.match(label):
+                raise CypressError(
+                    f"invalid label name {label!r} on metric {name!r}"
+                )
         self.name = name
         self.help = help
         self.label_names = tuple(labels)
@@ -295,7 +316,8 @@ class MetricsRegistry:
         with self._lock:
             metrics = list(self._metrics.values())
         for metric in metrics:
-            lines.append(f"# HELP {metric.name} {metric.help}")
+            help_text = metric.help.translate(_HELP_ESCAPES)
+            lines.append(f"# HELP {metric.name} {help_text}")
             lines.append(f"# TYPE {metric.name} {metric.kind}")
             for values, child in metric.labelled():
                 if isinstance(metric, Histogram):
@@ -357,10 +379,21 @@ def server_metrics(
     Returns:
         The registry, fully populated.
     """
+    import platform
+
+    import repro
     from repro.compiler.cache import compile_cache
 
     reg = registry if registry is not None else MetricsRegistry()
     stats = server.stats()
+
+    # Self-describing scrape: constant-1 gauge carrying the build
+    # identity as labels, the standard Prometheus idiom for metadata.
+    reg.gauge(
+        "repro_build_info",
+        "Build identity of the serving process (constant 1).",
+        labels=("version", "python"),
+    ).set(1, repro.__version__, platform.python_version())
 
     requests = reg.counter(
         "repro_requests_total", "Requests submitted to the runtime server."
@@ -564,4 +597,285 @@ def server_metrics(
             "Finished spans evicted by the tracer's capacity bound.",
         ).set_total(tracer.dropped)
 
+    flight = getattr(server, "flight", None)
+    if flight is not None:
+        reg.counter(
+            "repro_flight_records_total",
+            "Records appended to the flight recorder (retained or not).",
+        ).set_total(flight.recorded)
+        reg.counter(
+            "repro_flight_dumps_total",
+            "Flight-recorder dump files written (close, crash, manual).",
+        ).set_total(flight.dumps)
+
+    profiler = getattr(server, "profiler", None)
+    if profiler is not None:
+        reg.counter(
+            "repro_profiler_samples_total",
+            "Thread samples attributed by the continuous profiler.",
+        ).set_total(profiler.samples)
+        phase_samples = reg.counter(
+            "repro_profiler_phase_samples_total",
+            "Profiler samples per serving phase.",
+            labels=("phase",),
+        )
+        for phase, count in profiler.report()["phases"].items():
+            phase_samples.set_total(count, phase)
+
+    monitor = getattr(server, "slo_monitor", None)
+    if monitor is not None:
+        monitor.publish(reg)
+
     return reg
+
+
+# ----------------------------------------------------------------------
+# Exposition-format conformance
+# ----------------------------------------------------------------------
+
+#: Sample-line grammar: name, optional {labels}, value, optional
+#: timestamp. Label values are parsed (and escape-checked) separately.
+_SAMPLE_LINE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>.*)\})?"
+    r" (?P<value>\S+)"
+    r"(?: (?P<timestamp>-?\d+))?$"
+)
+_LABEL_PAIR = re.compile(
+    r'^(?P<name>[a-zA-Z_][a-zA-Z0-9_]*)="(?P<value>(?:[^"\\]|\\.)*)"'
+)
+_VALID_ESCAPES = {"\\\\", '\\"', "\\n"}
+_TYPE_KINDS = {"counter", "gauge", "histogram", "summary", "untyped"}
+
+
+def _parse_label_set(raw: str, where: str) -> Tuple[Tuple[str, str], ...]:
+    pairs = []
+    rest = raw
+    while rest:
+        match = _LABEL_PAIR.match(rest)
+        if match is None:
+            raise CypressError(f"{where}: malformed label pair in {raw!r}")
+        value = match.group("value")
+        index = 0
+        while index < len(value):
+            if value[index] == "\\":
+                if value[index:index + 2] not in _VALID_ESCAPES:
+                    raise CypressError(
+                        f"{where}: invalid escape "
+                        f"{value[index:index + 2]!r} in label value"
+                    )
+                index += 2
+            else:
+                index += 1
+        pairs.append((match.group("name"), value))
+        rest = rest[match.end():]
+        if rest.startswith(","):
+            rest = rest[1:]
+        elif rest:
+            raise CypressError(
+                f"{where}: expected ',' between labels in {raw!r}"
+            )
+    names = [name for name, _ in pairs]
+    if len(set(names)) != len(names):
+        raise CypressError(f"{where}: duplicate label names in {raw!r}")
+    return tuple(pairs)
+
+
+def _parse_sample_value(raw: str, where: str) -> float:
+    if raw in ("+Inf", "-Inf", "NaN"):
+        return {"+Inf": math.inf, "-Inf": -math.inf, "NaN": math.nan}[raw]
+    try:
+        return float(raw)
+    except ValueError:
+        raise CypressError(f"{where}: unparsable sample value {raw!r}")
+
+
+def _family_of(sample_name: str, histograms: Set[str]) -> str:
+    for suffix in ("_bucket", "_sum", "_count"):
+        if sample_name.endswith(suffix):
+            base = sample_name[: -len(suffix)]
+            if base in histograms:
+                return base
+    return sample_name
+
+
+def _check_histogram_family(
+    name: str,
+    series: Dict[Tuple[Tuple[str, str], ...], List[Tuple[str, float]]],
+) -> None:
+    # Regroup the family's samples by their non-le label set, then
+    # check each group's bucket/sum/count invariants.
+    groups: Dict[tuple, Dict[str, object]] = {}
+    for labels, samples in series.items():
+        le = dict(labels).get("le")
+        plain = tuple(
+            (k, v) for k, v in labels if k != "le"
+        )
+        group = groups.setdefault(
+            plain, {"buckets": [], "sum": None, "count": None}
+        )
+        for sample_name, value in samples:
+            if sample_name == f"{name}_bucket":
+                if le is None:
+                    raise CypressError(
+                        f"histogram {name}: _bucket sample without le"
+                    )
+                group["buckets"].append((le, value))
+            elif sample_name == f"{name}_sum":
+                group["sum"] = value
+            elif sample_name == f"{name}_count":
+                group["count"] = value
+            else:
+                raise CypressError(
+                    f"histogram {name}: stray sample {sample_name}"
+                )
+    for plain, group in groups.items():
+        buckets = group["buckets"]
+        if not buckets:
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: no _bucket samples"
+            )
+        if group["sum"] is None or group["count"] is None:
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: missing _sum or _count"
+            )
+        bounds = []
+        for le, _ in buckets:
+            bounds.append(
+                math.inf if le == "+Inf" else float(le)
+            )
+        if bounds != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: le bounds not "
+                "strictly ascending"
+            )
+        if bounds[-1] != math.inf:
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: missing le=\"+Inf\""
+            )
+        counts = [value for _, value in buckets]
+        if any(b < a for a, b in zip(counts, counts[1:])):
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: bucket counts not "
+                "cumulative"
+            )
+        if counts[-1] != group["count"]:
+            raise CypressError(
+                f"histogram {name}{dict(plain)}: +Inf bucket "
+                f"{counts[-1]} != _count {group['count']}"
+            )
+
+
+def validate_prometheus_text(text: str) -> Dict[str, str]:
+    """Strictly validate a Prometheus text-exposition document.
+
+    The conformance oracle behind the ``/metrics`` endpoint and the
+    ``ops-smoke`` CI job: a render that passes here parses in a real
+    scraper. Checks the whole grammar and the semantic invariants —
+
+    - every ``# HELP`` / ``# TYPE`` line is well-formed, names each
+      family at most once, and precedes the family's samples;
+    - every sample line parses (name, label set, value, optional
+      timestamp), belongs to a family declared by ``# TYPE``, and uses
+      only the legal label-value escapes (``\\\\``, ``\\"``, ``\\n``);
+    - no duplicate ``(series name, label set)`` sample appears;
+    - counters never carry negative values;
+    - histogram families expose ``_bucket``/``_sum``/``_count`` series
+      with strictly ascending ``le`` bounds ending in ``+Inf``,
+      cumulative bucket counts, and ``+Inf == _count``;
+    - the document ends with a newline.
+
+    Args:
+        text: a full exposition document (e.g.
+            ``MetricsRegistry.render()`` output).
+
+    Returns:
+        ``{family name: kind}`` for every declared family.
+
+    Raises:
+        CypressError: the first conformance violation found.
+    """
+    if not isinstance(text, str) or not text:
+        raise CypressError("exposition document must be non-empty text")
+    if not text.endswith("\n"):
+        raise CypressError("exposition document must end with a newline")
+    types: Dict[str, str] = {}
+    helps: Set[str] = set()
+    seen_samples: Set[Tuple[str, tuple]] = set()
+    family_samples: Dict[str, Dict[tuple, List[Tuple[str, float]]]] = {}
+    sampled_families: Set[str] = set()
+    for number, line in enumerate(text.split("\n")[:-1], start=1):
+        where = f"line {number}"
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) < 3 or parts[0] != "#" or parts[1] not in (
+                "HELP", "TYPE"
+            ):
+                # Arbitrary comments are legal; only malformed
+                # HELP/TYPE-looking lines are rejected.
+                if line.startswith(("# HELP", "# TYPE")):
+                    raise CypressError(f"{where}: malformed {line!r}")
+                continue
+            keyword, name = parts[1], parts[2]
+            if not _METRIC_NAME.match(name):
+                raise CypressError(
+                    f"{where}: invalid metric name {name!r}"
+                )
+            if keyword == "HELP":
+                if name in helps:
+                    raise CypressError(f"{where}: duplicate HELP {name}")
+                helps.add(name)
+            else:
+                kind = parts[3] if len(parts) > 3 else ""
+                if kind not in _TYPE_KINDS:
+                    raise CypressError(
+                        f"{where}: invalid TYPE kind {kind!r}"
+                    )
+                if name in sampled_families:
+                    raise CypressError(
+                        f"{where}: TYPE {name} after its samples"
+                    )
+                if name in types:
+                    raise CypressError(f"{where}: duplicate TYPE {name}")
+                types[name] = kind
+            continue
+        match = _SAMPLE_LINE.match(line)
+        if match is None:
+            raise CypressError(f"{where}: malformed sample {line!r}")
+        sample_name = match.group("name")
+        labels = _parse_label_set(match.group("labels") or "", where)
+        value = _parse_sample_value(match.group("value"), where)
+        histograms = {
+            name for name, kind in types.items() if kind == "histogram"
+        }
+        family = _family_of(sample_name, histograms)
+        if family not in types:
+            raise CypressError(
+                f"{where}: sample {sample_name!r} has no # TYPE"
+            )
+        sampled_families.add(family)
+        kind = types[family]
+        if kind != "histogram" and sample_name != family:
+            raise CypressError(
+                f"{where}: sample {sample_name!r} does not match its "
+                f"family {family!r}"
+            )
+        if kind == "counter" and value < 0:
+            raise CypressError(
+                f"{where}: counter {sample_name} is negative ({value})"
+            )
+        dedup_key = (sample_name, labels)
+        if dedup_key in seen_samples:
+            raise CypressError(
+                f"{where}: duplicate sample {sample_name}{dict(labels)}"
+            )
+        seen_samples.add(dedup_key)
+        family_samples.setdefault(family, {}).setdefault(
+            labels, []
+        ).append((sample_name, value))
+    for name, kind in types.items():
+        if kind == "histogram" and name in family_samples:
+            _check_histogram_family(name, family_samples[name])
+    return types

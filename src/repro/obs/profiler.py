@@ -1,0 +1,311 @@
+"""Continuous sampling profiler with serving-phase attribution.
+
+``cProfile`` is useless in a serving process: tracing every call on
+the hot path costs far more than the 1.5x observability budget allows,
+and it cannot run "always on" in production. This module takes the
+standard production alternative — a *sampling* profiler. A background
+thread wakes ``hz`` times per second, snapshots every thread's current
+frame via :func:`sys._current_frames`, and attributes each sample to
+the serving **phase** the thread is in: ``queue`` (submit-side
+enqueue), ``dispatch`` (batch assembly), ``compile`` /
+``pass.<name>`` (pipeline work, per compiler pass), ``execute``
+(simulation + functional replay), ``graph.node`` (graph-scheduler
+wave preparation), or ``idle`` (a registered worker waiting for
+work). Phase attribution rides on a per-thread stack of markers
+(:class:`PhaseTracker`) that the runtime pushes around its hot
+sections — the same single-boolean gating discipline as
+:data:`~repro.obs.trace.NULL_TRACER`: when no profiler is active,
+``PHASES.enabled`` is ``False`` and every instrumentation site is one
+attribute load and a branch.
+
+Beyond phase counts the profiler keeps bounded per-``(kernel,
+bucket)`` sample counts (which shapes burn the CPU) and bounded
+collapsed stack lines (``phase;outer;...;inner count``) directly
+renderable as a flamegraph. :meth:`ContinuousProfiler.report` returns
+the aggregate; :meth:`ContinuousProfiler.export_collapsed` writes the
+flamegraph input.
+
+The sampler itself is a :class:`~repro.runtime.speculate.
+BackgroundLoop` subclass, so it inherits the supervised crash-restart
+semantics of the speculator and specializer — a profiler bug can never
+take serving down, and a crashed sampler restarts with capped backoff.
+Unlike those loops it sets ``idle_only = False``: sampling only while
+the queue is empty would be a profiler that never sees load.
+"""
+
+from __future__ import annotations
+
+import sys
+import threading
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
+
+from repro.errors import CypressError
+
+
+class PhaseTracker:
+    """Per-thread stacks of serving-phase markers.
+
+    The runtime's hot sections bracket themselves with
+    :meth:`push`/:meth:`pop` **only when ``enabled`` is true**, so the
+    instrumentation is a single attribute load and branch when no
+    profiler is running. The sampler calls :meth:`snapshot` to read
+    the top-of-stack phase of every instrumented thread.
+
+    ``enabled`` is reference-counted via :meth:`activate` /
+    :meth:`deactivate` so two profilers (e.g. a server-owned one plus
+    a test-driven one) compose.
+    """
+
+    def __init__(self) -> None:
+        self.enabled = False
+        self._lock = threading.Lock()
+        self._active = 0
+        self._stacks: Dict[int, List[Tuple[str, Optional[str]]]] = {}
+
+    def activate(self) -> None:
+        """Turn instrumentation on (reference-counted)."""
+        with self._lock:
+            self._active += 1
+            self.enabled = True
+
+    def deactivate(self) -> None:
+        """Drop one activation; instrumentation stops at zero."""
+        with self._lock:
+            self._active = max(0, self._active - 1)
+            if self._active == 0:
+                self.enabled = False
+                self._stacks.clear()
+
+    def push(self, phase: str, detail: Optional[str] = None) -> None:
+        """Enter ``phase`` on the calling thread."""
+        tid = threading.get_ident()
+        with self._lock:
+            self._stacks.setdefault(tid, []).append((phase, detail))
+
+    def pop(self) -> None:
+        """Leave the calling thread's innermost phase."""
+        tid = threading.get_ident()
+        with self._lock:
+            stack = self._stacks.get(tid)
+            if stack:
+                stack.pop()
+            if not stack:
+                self._stacks.pop(tid, None)
+
+    def current(self) -> Optional[Tuple[str, Optional[str]]]:
+        """The calling thread's innermost ``(phase, detail)``, if any."""
+        with self._lock:
+            stack = self._stacks.get(threading.get_ident())
+            return stack[-1] if stack else None
+
+    def snapshot(self) -> Dict[int, Tuple[str, Optional[str]]]:
+        """Top-of-stack ``(phase, detail)`` per instrumented thread."""
+        with self._lock:
+            return {
+                tid: stack[-1]
+                for tid, stack in self._stacks.items()
+                if stack
+            }
+
+
+#: Process-wide phase tracker. Defined *before* the BackgroundLoop
+#: import below: ``runtime.server`` imports this name at module top,
+#: and ``repro.runtime.speculate`` transitively initializes
+#: ``repro.runtime`` — defining PHASES first keeps every entry order
+#: into the ``obs.profiler <-> runtime`` cycle safe.
+PHASES = PhaseTracker()
+
+from repro.runtime.speculate import BackgroundLoop  # noqa: E402
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle: server owns us
+    from repro.runtime.server import RuntimeServer
+
+
+@dataclass(frozen=True)
+class ProfilerConfig:
+    """Knobs of the continuous sampling profiler.
+
+    Attributes:
+        hz: sampling frequency; the sampler wakes ``1/hz`` seconds
+            apart. 100 Hz costs well under the repo's 1.5x
+            observability budget (gated in ``bench_trace.py``).
+        max_stacks: bound on distinct collapsed stack lines kept;
+            samples beyond the bound still count toward phase totals
+            and are tallied in ``stacks_truncated``.
+        max_depth: innermost frames kept per collapsed stack.
+        max_kernels: bound on distinct ``kernel:bucket`` sample keys.
+        top_stacks: collapsed lines included in :meth:`report`.
+    """
+
+    hz: float = 100.0
+    max_stacks: int = 512
+    max_depth: int = 24
+    max_kernels: int = 256
+    top_stacks: int = 20
+
+    def __post_init__(self) -> None:
+        if self.hz <= 0:
+            raise CypressError(f"hz must be > 0, got {self.hz}")
+        for field_name in ("max_stacks", "max_depth", "max_kernels"):
+            if getattr(self, field_name) < 1:
+                raise CypressError(
+                    f"{field_name} must be >= 1, got "
+                    f"{getattr(self, field_name)}"
+                )
+
+
+class ContinuousProfiler(BackgroundLoop):
+    """Always-on sampling profiler for a running server.
+
+    One :meth:`run_once` cycle takes a single
+    :func:`sys._current_frames` snapshot and attributes each sampled
+    thread: a thread inside a :data:`PHASES` marker is counted under
+    that phase (and under its ``kernel:bucket`` detail when present),
+    a registered worker with an empty marker stack is ``idle``, and
+    unrelated threads (the main thread, test runners, the sampler
+    itself) are skipped entirely so they cannot dilute attribution.
+
+    Tests drive :meth:`run_once` synchronously after :meth:`enable`;
+    production uses :meth:`start`, which enables instrumentation and
+    spawns the supervised sampling thread.
+    """
+
+    thread_name = "repro-profiler"
+    idle_only = False
+
+    def __init__(
+        self,
+        server: "RuntimeServer",
+        config: Optional[ProfilerConfig] = None,
+    ) -> None:
+        self.config = config or ProfilerConfig()
+        super().__init__(server, interval_s=1.0 / self.config.hz)
+        self._data_lock = threading.Lock()
+        self._enabled = False
+        self.samples = 0
+        self.stacks_truncated = 0
+        self._phase_counts: Dict[str, int] = {}
+        self._kernel_counts: Dict[str, int] = {}
+        self._stack_counts: Dict[str, int] = {}
+
+    def enable(self) -> None:
+        """Arm phase instrumentation without spawning the thread."""
+        if not self._enabled:
+            self._enabled = True
+            PHASES.activate()
+
+    def disable(self) -> None:
+        """Disarm phase instrumentation (idempotent)."""
+        if self._enabled:
+            self._enabled = False
+            PHASES.deactivate()
+
+    def start(self) -> None:
+        """Arm instrumentation and spawn the sampling thread."""
+        self.enable()
+        super().start()
+
+    def stop(self) -> None:
+        """Join the sampling thread and disarm instrumentation."""
+        super().stop()
+        self.disable()
+
+    def run_once(self) -> int:
+        """Take one sample of every serving thread; returns threads seen."""
+        snapshot = PHASES.snapshot()
+        worker_ids = self._worker_idents()
+        skip = threading.get_ident()
+        frames = sys._current_frames()
+        counted = 0
+        with self._data_lock:
+            for tid, frame in frames.items():
+                if tid == skip:
+                    continue
+                marked = snapshot.get(tid)
+                if marked is not None:
+                    phase, detail = marked
+                elif tid in worker_ids:
+                    phase, detail = "idle", None
+                else:
+                    continue  # unrelated thread; do not dilute
+                counted += 1
+                self.samples += 1
+                self._bump(self._phase_counts, phase, None)
+                if detail is not None:
+                    self._bump(
+                        self._kernel_counts,
+                        detail,
+                        self.config.max_kernels,
+                    )
+                self._record_stack(phase, frame)
+        del frames  # frames hold live thread state; drop promptly
+        return counted
+
+    def _worker_idents(self) -> frozenset:
+        threads = getattr(self.server, "_threads", ())
+        return frozenset(
+            t.ident for t in threads if t.ident is not None
+        )
+
+    @staticmethod
+    def _bump(
+        counts: Dict[str, int], key: str, bound: Optional[int]
+    ) -> bool:
+        if key not in counts and bound is not None and len(counts) >= bound:
+            return False
+        counts[key] = counts.get(key, 0) + 1
+        return True
+
+    def _record_stack(self, phase: str, frame) -> None:
+        names: List[str] = []
+        while frame is not None and len(names) < self.config.max_depth:
+            code = frame.f_code
+            names.append(getattr(code, "co_qualname", code.co_name))
+            frame = frame.f_back
+        names.reverse()
+        line = ";".join([phase] + names) if names else phase
+        if not self._bump(self._stack_counts, line, self.config.max_stacks):
+            self.stacks_truncated += 1
+
+    def report(self) -> Dict[str, object]:
+        """Aggregate profile: phases, kernels, top stacks, health."""
+        with self._data_lock:
+            phases = dict(self._phase_counts)
+            kernels = dict(self._kernel_counts)
+            top = sorted(
+                self._stack_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )[: self.config.top_stacks]
+            samples = self.samples
+            truncated = self.stacks_truncated
+        idle = phases.get("idle", 0)
+        non_idle = samples - idle
+        return {
+            "hz": self.config.hz,
+            "enabled": self._enabled,
+            "running": self.running,
+            "samples": samples,
+            "phases": phases,
+            "non_idle_ratio": (non_idle / samples) if samples else 0.0,
+            "kernels": kernels,
+            "top_stacks": [
+                {"stack": line, "count": count} for line, count in top
+            ],
+            "stacks_truncated": truncated,
+            "errors": self.errors,
+            "crashes": self.crashes,
+        }
+
+    def export_collapsed(self, path=None) -> str:
+        """Collapsed-stack flamegraph lines; optionally written to ``path``."""
+        with self._data_lock:
+            items = sorted(
+                self._stack_counts.items(), key=lambda kv: (-kv[1], kv[0])
+            )
+        text = "\n".join(f"{line} {count}" for line, count in items)
+        if text:
+            text += "\n"
+        if path is not None:
+            with open(path, "w", encoding="utf-8") as handle:
+                handle.write(text)
+        return text

@@ -363,7 +363,20 @@ class Tracer:
         Returns:
             The path written, as a string.
         """
-        payload = {
+        payload = self.chrome_payload()
+        with open(path, "w") as handle:
+            json.dump(payload, handle, indent=1, default=str)
+            handle.write("\n")
+        return str(path)
+
+    def chrome_payload(self) -> Dict[str, Any]:
+        """The buffered spans as an in-memory Chrome-trace payload.
+
+        The same object :meth:`export_chrome_trace` writes to disk —
+        the ``/tracez`` diagnostics endpoint serves it directly, and
+        it round-trips through :func:`validate_chrome_trace`.
+        """
+        return {
             "traceEvents": [
                 self._event(span) for span in self.spans() if span.closed
             ],
@@ -380,10 +393,6 @@ class Tracer:
                 "dropped": self.dropped,
             },
         }
-        with open(path, "w") as handle:
-            json.dump(payload, handle, indent=1, default=str)
-            handle.write("\n")
-        return str(path)
 
     # ------------------------------------------------------------------
     # Internals

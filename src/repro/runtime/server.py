@@ -48,6 +48,7 @@ from repro.errors import CypressError
 from repro.gpusim.gpu import GpuResult
 from repro.machine.machine import MachineModel
 from repro.obs.flight import FlightRecorder
+from repro.obs.profiler import PHASES
 from repro.obs.trace import NULL_TRACER, Tracer
 from repro.runtime import faults
 from repro.runtime.bucketing import Bucket
@@ -195,6 +196,16 @@ class RuntimeServer:
             (the default) arms retries and breakers with conservative
             defaults while keeping the queue unbounded — the
             historical behavior, plus self-healing.
+        diag: the live ops plane (:mod:`repro.obs.ops`): an embedded
+            read-only HTTP listener serving ``/metrics``,
+            ``/statusz``, ``/healthz``, ``/readyz``, ``/tracez``,
+            ``/flightz``, and ``/profilez``, plus — when configured —
+            the continuous sampling profiler and the SLO monitor.
+            Pass ``True`` for a loopback listener on an ephemeral
+            port, an ``int`` port, or a :class:`~repro.obs.ops.
+            DiagConfig`. The listener stays up after :meth:`close`
+            answering 503 (orchestrators see the terminal state, not
+            connection-refused); stop it with ``server.diag.stop()``.
         start: spawn workers immediately; ``start=False`` lets tests and
             batch loaders enqueue before serving begins (call
             :meth:`start`).
@@ -221,6 +232,7 @@ class RuntimeServer:
         trace: Union[bool, Tracer] = False,
         flight: Union[None, str, FlightRecorder] = None,
         resilience: Optional[ResilienceConfig] = None,
+        diag: Union[None, bool, int, "DiagConfig"] = None,
         start: bool = True,
     ) -> None:
         if workers < 1:
@@ -305,6 +317,39 @@ class RuntimeServer:
                 self.disk_tier
             )
             _RETIRED_TIERS.discard(self.disk_tier)
+        self.profiler = None
+        self.slo_monitor = None
+        self.diag = None
+        if diag is not None and diag is not False:
+            # Imported lazily: repro.obs.ops pulls in the profiler and
+            # SLO modules, which most servers never need.
+            from repro.obs.ops import DiagConfig, DiagServer
+            from repro.obs.profiler import ContinuousProfiler, ProfilerConfig
+            from repro.obs.slo import SloMonitor
+
+            if isinstance(diag, DiagConfig):
+                diag_config = diag
+            elif diag is True:
+                diag_config = DiagConfig()
+            elif isinstance(diag, int):
+                diag_config = DiagConfig(port=diag)
+            else:
+                raise CypressError(
+                    "diag must be True, a port number, or a DiagConfig; "
+                    f"got {diag!r}"
+                )
+            if diag_config.profile:
+                profiler_config = (
+                    diag_config.profile
+                    if isinstance(diag_config.profile, ProfilerConfig)
+                    else None
+                )
+                self.profiler = ContinuousProfiler(self, profiler_config)
+            if diag_config.slos:
+                self.slo_monitor = SloMonitor(
+                    self, diag_config.slos, tick_s=diag_config.slo_tick_s
+                )
+            self.diag = DiagServer(self, diag_config)
         if start:
             self.start()
 
@@ -330,6 +375,12 @@ class RuntimeServer:
             self.speculator.start()
         if self.specializer is not None:
             self.specializer.start()
+        if self.profiler is not None:
+            self.profiler.start()
+        if self.slo_monitor is not None:
+            self.slo_monitor.start()
+        if self.diag is not None:
+            self.diag.start()
         return self
 
     def close(self, drain: bool = True) -> None:
@@ -349,6 +400,12 @@ class RuntimeServer:
             self.speculator.stop()
         if self.specializer is not None:
             self.specializer.stop()
+        if self.profiler is not None:
+            self.profiler.stop()
+        if self.slo_monitor is not None:
+            self.slo_monitor.stop()
+        # self.diag deliberately keeps serving (every endpoint answers
+        # 503 once _closed is set) until diag.stop().
         with self._cv:
             self._stopping = True
             if not drain:
@@ -509,6 +566,16 @@ class RuntimeServer:
         """
         if not requests:
             return
+        profiling = PHASES.enabled
+        if profiling:
+            PHASES.push("queue")
+        try:
+            self._submit_prepared(requests)
+        finally:
+            if profiling:
+                PHASES.pop()
+
+    def _submit_prepared(self, requests: List[_QueuedRequest]) -> None:
         now = time.perf_counter()
         tracer = self.tracer
         if tracer.enabled:
@@ -984,9 +1051,10 @@ class RuntimeServer:
             self.telemetry.record_timeout(timed_out)
             self.telemetry.record_failure(timed_out)
 
-    def _execute_batch(
-        self, batch: List[_QueuedRequest], popped_at: float = 0.0
-    ) -> None:
+    def _dispatch_live(
+        self, batch: List[_QueuedRequest]
+    ) -> List[_QueuedRequest]:
+        """Deadline-filter a popped batch and claim its futures."""
         pending = batch
         if any(r.deadline is not None for r in batch):
             now = time.perf_counter()
@@ -999,11 +1067,42 @@ class RuntimeServer:
                     pending.append(request)
             if expired:
                 self._fail_expired(expired)
-        live = [
+        return [
             request
             for request in pending
             if request.future.set_running_or_notify_cancel()
         ]
+
+    def _obtain_for_batch(self, head: _QueuedRequest, batch_size: int):
+        """Obtain the batch's serving kernel, degrading a specialized
+        batch to its generic bucket when the compile breaker is open
+        (typically memory-cached, so no compile at all); generic
+        batches fail fast instead."""
+        try:
+            kernel, tier, _key = self._obtain_kernel(
+                head.kernel, head.bucket
+            )
+        except BreakerOpen:
+            if not head.specialized:
+                raise
+            generic = head.kernel.bucket(head.shape)
+            if generic == head.bucket:
+                raise
+            kernel, tier, _key = self._obtain_kernel(head.kernel, generic)
+            self.telemetry.record_degraded(batch_size)
+        return kernel, tier
+
+    def _execute_batch(
+        self, batch: List[_QueuedRequest], popped_at: float = 0.0
+    ) -> None:
+        profiling = PHASES.enabled
+        if profiling:
+            PHASES.push("dispatch")
+        try:
+            live = self._dispatch_live(batch)
+        finally:
+            if profiling:
+                PHASES.pop()
         if not live:
             return
         tracer = self.tracer
@@ -1011,51 +1110,52 @@ class RuntimeServer:
         assembled_at = time.perf_counter() if tracing else 0.0
         self.telemetry.record_batch(len(live))
         head = live[0]
+        detail = (
+            f"{head.kernel.name}:{head.bucket.label()}" if profiling else None
+        )
         if self.speculator is not None:
             self.speculator.note_request(head.kernel.name, head.bucket)
         try:
             compile_start = time.perf_counter() if tracing else 0.0
+            if profiling:
+                PHASES.push("compile", detail)
             try:
-                kernel, tier, _key = self._obtain_kernel(
-                    head.kernel, head.bucket
-                )
-            except BreakerOpen:
-                # Degraded serving: a specialized batch whose compile
-                # breaker is open falls back to the generic bucket
-                # (typically memory-cached, so no compile at all);
-                # generic batches fail fast instead.
-                if not head.specialized:
-                    raise
-                generic = head.kernel.bucket(head.shape)
-                if generic == head.bucket:
-                    raise
-                kernel, tier, _key = self._obtain_kernel(
-                    head.kernel, generic
-                )
-                self.telemetry.record_degraded(len(live))
+                kernel, tier = self._obtain_for_batch(head, len(live))
+            finally:
+                if profiling:
+                    PHASES.pop()
             compile_end = time.perf_counter() if tracing else 0.0
             from repro import api
 
-            plan = faults.ACTIVE
-            if plan is None:
-                gpu = api.simulate(kernel, self.machine)
-            else:
+            if profiling:
+                PHASES.push("execute", detail)
+            try:
+                plan = faults.ACTIVE
+                if plan is None:
+                    gpu = api.simulate(kernel, self.machine)
+                else:
 
-                def run_batch() -> Any:
-                    active = faults.ACTIVE
-                    if active is not None:
-                        active.check("worker.execute", head.kernel.name)
-                    return api.simulate(kernel, self.machine)
+                    def run_batch() -> Any:
+                        active = faults.ACTIVE
+                        if active is not None:
+                            active.check(
+                                "worker.execute", head.kernel.name
+                            )
+                        return api.simulate(kernel, self.machine)
 
-                # Simulation is deterministic, so a retried injected
-                # fault reproduces bit-identical results — the
-                # degraded-output guarantee bench_chaos gates on.
-                gpu = call_with_retry(
-                    run_batch,
-                    self.resilience.retry,
-                    salt=f"execute:{head.kernel.name}",
-                    on_retry=self._on_retry,
-                )
+                    # Simulation is deterministic, so a retried
+                    # injected fault reproduces bit-identical results
+                    # — the degraded-output guarantee bench_chaos
+                    # gates on.
+                    gpu = call_with_retry(
+                        run_batch,
+                        self.resilience.retry,
+                        salt=f"execute:{head.kernel.name}",
+                        on_retry=self._on_retry,
+                    )
+            finally:
+                if profiling:
+                    PHASES.pop()
         except Exception as error:
             self.telemetry.record_failure(len(live))
             for request in live:
@@ -1069,54 +1169,67 @@ class RuntimeServer:
                 compile_start, compile_end,
             )
         params = self._bucket_params.get(head.batch_key)
-        for request in live:
-            try:
-                outputs = None
-                if request.inputs is not None:
-                    from repro import api
+        if profiling:
+            PHASES.push("execute", detail)
+        try:
+            for request in live:
+                try:
+                    outputs = None
+                    if request.inputs is not None:
+                        from repro import api
 
-                    arrays = dict(request.inputs)
-                    if request.specialized:
-                        # Callers pad inputs to the *generic* bucket;
-                        # the specialized kernel is smaller. Crop the
-                        # zero-padding off (bit-identical results).
-                        arrays = self._fit_inputs(kernel, arrays)
-                    outputs = api.run_functional(kernel, arrays)
-                done_at = time.perf_counter()
-                latency = done_at - request.submitted_at
-                result = RuntimeResult(
-                    kernel=request.kernel.name,
-                    build_name=kernel.name,
-                    requested_shape=dict(request.shape),
-                    bucket=request.bucket,
-                    tier=tier,
-                    batch_size=len(live),
-                    gpu=gpu,
-                    latency_s=latency,
-                    outputs=outputs,
-                    params=dict(params) if params else None,
-                )
-                self.telemetry.record_result(
-                    request.kernel.name, latency, tier, gpu.tflops
-                )
-                if request.span is not None:
-                    tracer.record(
-                        "execute", "serve", compile_end, done_at,
-                        parent=request.span,
+                        arrays = dict(request.inputs)
+                        if request.specialized:
+                            # Callers pad inputs to the *generic*
+                            # bucket; the specialized kernel is
+                            # smaller. Crop the zero-padding off
+                            # (bit-identical results).
+                            arrays = self._fit_inputs(kernel, arrays)
+                        outputs = api.run_functional(kernel, arrays)
+                    done_at = time.perf_counter()
+                    latency = done_at - request.submitted_at
+                    result = RuntimeResult(
+                        kernel=request.kernel.name,
+                        build_name=kernel.name,
+                        requested_shape=dict(request.shape),
+                        bucket=request.bucket,
+                        tier=tier,
+                        batch_size=len(live),
+                        gpu=gpu,
+                        latency_s=latency,
+                        outputs=outputs,
+                        params=dict(params) if params else None,
                     )
-                    # The root span must close before set_result: a
-                    # graph node's done-callback runs synchronously
-                    # inside it and closes this span's parent.
-                    tracer.end(
-                        request.span,
-                        args={"tier": tier, "batch_size": len(live)},
+                    self.telemetry.record_result(
+                        request.kernel.name, latency, tier, gpu.tflops
                     )
-                request.future.set_result(result)
-            except Exception as error:
-                self.telemetry.record_failure()
-                if request.span is not None and not request.span.closed:
-                    tracer.end(request.span, args={"error": repr(error)})
-                request.future.set_exception(error)
+                    if request.span is not None:
+                        tracer.record(
+                            "execute", "serve", compile_end, done_at,
+                            parent=request.span,
+                        )
+                        # The root span must close before set_result:
+                        # a graph node's done-callback runs
+                        # synchronously inside it and closes this
+                        # span's parent.
+                        tracer.end(
+                            request.span,
+                            args={"tier": tier, "batch_size": len(live)},
+                        )
+                    request.future.set_result(result)
+                except Exception as error:
+                    self.telemetry.record_failure()
+                    if (
+                        request.span is not None
+                        and not request.span.closed
+                    ):
+                        tracer.end(
+                            request.span, args={"error": repr(error)}
+                        )
+                    request.future.set_exception(error)
+        finally:
+            if profiling:
+                PHASES.pop()
 
     def _record_batch_spans(
         self,
@@ -1211,6 +1324,7 @@ class RuntimeServer:
                 site: breaker.state
                 for site, breaker in self.breakers.items()
             }
+        monitor = self.slo_monitor
         return self.telemetry.snapshot(
             queue_depth=depth,
             trace_enabled=self.tracer.enabled,
@@ -1219,6 +1333,12 @@ class RuntimeServer:
                 self.flight.recorded if self.flight is not None else 0
             ),
             breaker_states=breaker_states,
+            slo_alerts=(
+                monitor.alert_states() if monitor is not None else None
+            ),
+            slo_burn_rates=(
+                monitor.slow_burn_rates() if monitor is not None else None
+            ),
         )
 
     def metrics(self, registry=None):
@@ -1252,3 +1372,21 @@ class RuntimeServer:
         """Requests currently waiting in the queue."""
         with self._cv:
             return len(self._queue)
+
+    @property
+    def started(self) -> bool:
+        """Whether the worker pool has been spawned."""
+        return self._started
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has run (or is running)."""
+        return self._closed
+
+    @property
+    def warmed(self) -> bool:
+        """Readiness signal: a bucket has been warmed or a request
+        has completed — the server has proven it can serve."""
+        if self._warmed:
+            return True
+        return self.telemetry.completed_count > 0

@@ -74,6 +74,12 @@ class BackgroundLoop:
     #: Thread name; subclasses override.
     thread_name = "repro-background"
 
+    #: Run cycles only while the request queue is idle. Loops that
+    #: *observe* serving rather than compete with it (the sampling
+    #: profiler, the SLO monitor) override this to ``False`` — their
+    #: whole point is to run while traffic flows.
+    idle_only = True
+
     #: Crash-restart backoff: first wait, then doubled per consecutive
     #: crash up to the cap. A healthy cycle resets the ladder.
     restart_backoff_s = 0.01
@@ -139,7 +145,7 @@ class BackgroundLoop:
                 # the loop body itself, exercising supervision.
                 plan.check("loop.cycle", self.thread_name)
             try:
-                if self.server.queue_depth == 0:
+                if not self.idle_only or self.server.queue_depth == 0:
                     self.run_once()
             except Exception:
                 # Background work must never take serving down; a cycle

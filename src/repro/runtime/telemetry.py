@@ -102,6 +102,11 @@ class RuntimeStats:
     degraded_serves: int = 0
     breaker_trips: int = 0
     breaker_states: Dict[str, str] = field(default_factory=dict)
+    #: Currently-firing SLO alerts (``{slo_name: severity}``) and the
+    #: latest slow-window burn rate per objective, from the server's
+    #: :class:`~repro.obs.slo.SloMonitor`; empty without one.
+    slo_alerts: Dict[str, str] = field(default_factory=dict)
+    slo_burn_rates: Dict[str, float] = field(default_factory=dict)
 
     @property
     def breakers_open(self) -> int:
@@ -207,6 +212,10 @@ class RuntimeStats:
                 "breaker_trips": self.breaker_trips,
                 "breaker_states": dict(sorted(self.breaker_states.items())),
             },
+            "slo": {
+                "alerts": dict(sorted(self.slo_alerts.items())),
+                "burn_rates": dict(sorted(self.slo_burn_rates.items())),
+            },
             "kernels": {
                 name: {
                     "requests": k.requests,
@@ -276,6 +285,15 @@ class RuntimeStats:
                 f"{self.breaker_trips} trips ({self.breakers_open} "
                 f"open), {self.loop_crashes} loop crashes"
             )
+        if self.slo_alerts:
+            lines.append(
+                "alerts:  "
+                + ", ".join(
+                    f"{name} {severity} "
+                    f"(burn {self.slo_burn_rates.get(name, 0.0):.1f}x)"
+                    for name, severity in sorted(self.slo_alerts.items())
+                )
+            )
         if self.trace_enabled or self.flight_records:
             lines.append(
                 f"obs:     tracing "
@@ -343,6 +361,13 @@ class Telemetry:
         self._loop_crashes = 0
         self._degraded = 0
         self._breaker_trips = 0
+
+    @property
+    def completed_count(self) -> int:
+        """Completed requests so far (cheap readiness probe; no
+        snapshot materialization)."""
+        with self._lock:
+            return self._completed
 
     def record_submit(self, count: int = 1) -> None:
         """Count ``count`` requests entering the queue."""
@@ -540,6 +565,8 @@ class Telemetry:
         trace_spans: int = 0,
         flight_records: int = 0,
         breaker_states: Optional[Dict[str, str]] = None,
+        slo_alerts: Optional[Dict[str, str]] = None,
+        slo_burn_rates: Optional[Dict[str, float]] = None,
     ) -> RuntimeStats:
         """Freeze the collector into a :class:`RuntimeStats` value.
 
@@ -550,6 +577,8 @@ class Telemetry:
             flight_records: records appended to the flight recorder.
             breaker_states: site -> circuit-breaker state at snapshot
                 time (the server passes its live breaker registry).
+            slo_alerts: currently-firing SLO alerts by objective name.
+            slo_burn_rates: slow-window burn rate per objective.
 
         Returns:
             An immutable view; the collector keeps accumulating.
@@ -611,4 +640,6 @@ class Telemetry:
                 degraded_serves=self._degraded,
                 breaker_trips=self._breaker_trips,
                 breaker_states=dict(breaker_states or {}),
+                slo_alerts=dict(slo_alerts or {}),
+                slo_burn_rates=dict(slo_burn_rates or {}),
             )

@@ -7,7 +7,8 @@ invariants so documentation cannot silently regress:
    ``repro.runtime``, ``repro.runtime.speculate``,
    ``repro.runtime.specialize``, ``repro.runtime.resilience``,
    ``repro.runtime.faults``, ``repro.graph``,
-   ``repro.graph.template``, ``repro.obs``, and
+   ``repro.graph.template``, ``repro.obs``, ``repro.obs.ops``,
+   ``repro.obs.profiler``, ``repro.obs.slo``, and
    ``repro.tensors.regions`` (and their public methods) carries a
    non-empty docstring;
 2. every intra-repo markdown link in ``README.md``, ``docs/``, and the
@@ -24,6 +25,9 @@ import repro.api
 import repro.graph
 import repro.graph.template
 import repro.obs
+import repro.obs.ops
+import repro.obs.profiler
+import repro.obs.slo
 import repro.runtime
 import repro.runtime.faults
 import repro.runtime.resilience
@@ -45,6 +49,9 @@ PUBLIC_MODULES = (
     repro.graph,
     repro.graph.template,
     repro.obs,
+    repro.obs.ops,
+    repro.obs.profiler,
+    repro.obs.slo,
     repro.tensors.regions,
 )
 
@@ -125,6 +132,7 @@ class TestMarkdownLinks:
         for guide in (
             "architecture.md", "tuning.md", "serving.md", "graphs.md",
             "observability.md", "specialization.md", "resilience.md",
+            "ops.md",
         ):
             assert (REPO_ROOT / "docs" / guide).exists(), guide
 

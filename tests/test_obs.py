@@ -600,8 +600,9 @@ class TestStatsJson:
         assert set(payload) == {
             "schema_version", "runtime", "latency", "tiers",
             "graphs", "speculation", "specialization", "resilience",
-            "obs", "kernels",
+            "slo", "obs", "kernels",
         }
+        assert payload["slo"] == {"alerts": {}, "burn_rates": {}}
         assert payload["runtime"]["requests"] == stats.requests
         assert payload["resilience"]["retries"] == stats.retries
         assert payload["resilience"]["breaker_states"] == dict(
